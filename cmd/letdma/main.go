@@ -1,0 +1,542 @@
+// Command letdma reproduces the evaluation of "Optimal Memory Allocation
+// and Scheduling for DMA Data Transfers under the LET Paradigm" (DAC 2021)
+// on the WATERS 2019 case study.
+//
+// Subcommands:
+//
+//	fig2        one panel of Fig. 2 (latency ratios vs the three baselines)
+//	table1      Table I (solver running times and number of DMA transfers)
+//	sensitivity the alpha sweep of Section VII
+//	schedule    print the optimized memory layout and transfer schedule
+//	simulate    run the discrete-event simulator (-trace, -gantt)
+//	channels    evaluate the multi-channel DMA extension
+//	rta         print WCRTs, slacks and gamma assignments
+//	campaign    acceptance-ratio study over random or automotive systems
+//	lp          dump the MILP in CPLEX LP format
+//	export      dump the selected system as a JSON description
+//
+// Common flags: -lite selects the reduced two-core case study; -f loads a
+// JSON-described system; -alpha, -obj, -solver, -timeout tune the
+// configuration; fig2/table1/campaign accept -csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"letdma/internal/dma"
+	"letdma/internal/experiments"
+	"letdma/internal/let"
+	"letdma/internal/letopt"
+	"letdma/internal/model"
+	"letdma/internal/multidma"
+	"letdma/internal/rta"
+	"letdma/internal/sim"
+	"letdma/internal/timeutil"
+	"letdma/internal/trace"
+	"letdma/internal/waters"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig2":
+		err = cmdFig2(args)
+	case "table1":
+		err = cmdTable1(args)
+	case "sensitivity":
+		err = cmdSensitivity(args)
+	case "schedule":
+		err = cmdSchedule(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "channels":
+		err = cmdChannels(args)
+	case "rta":
+		err = cmdRTA(args)
+	case "campaign":
+		err = cmdCampaign(args)
+	case "lp":
+		err = cmdLP(args)
+	case "export":
+		err = cmdExport(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "letdma: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "letdma %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: letdma <command> [flags]
+
+commands:
+  fig2         reproduce one panel of Fig. 2
+  table1       reproduce Table I
+  sensitivity  alpha sweep (Section VII)
+  schedule     print the optimized layout and transfer schedule
+  simulate     run the discrete-event simulator (-trace for chrome JSON)
+  channels     evaluate the multi-channel DMA extension
+  rta          print WCRTs, slacks and gamma assignments
+  campaign     acceptance-ratio study over random systems
+  lp           dump the MILP in LP format
+  export       dump the selected system as a JSON description
+
+any command accepts -f system.json to analyze your own system
+
+run 'letdma <command> -h' for the command's flags`)
+}
+
+// commonFlags registers the shared flags on fs and returns getters.
+type common struct {
+	lite    *bool
+	file    *string
+	alpha   *float64
+	obj     *string
+	solver  *string
+	timeout *time.Duration
+	slots   *int
+}
+
+func commonFlags(fs *flag.FlagSet) *common {
+	return &common{
+		lite:    fs.Bool("lite", false, "use the reduced two-core case study"),
+		file:    fs.String("f", "", "load the system from a JSON description instead of the built-in case study"),
+		alpha:   fs.Float64("alpha", 0.2, "sensitivity factor for data-acquisition deadlines (0 disables)"),
+		obj:     fs.String("obj", "del", "objective: none | dmat | del"),
+		solver:  fs.String("solver", "comb", "solver: comb | milp"),
+		timeout: fs.Duration("timeout", 60*time.Second, "MILP time limit"),
+		slots:   fs.Int("slots", 0, "MILP transfer slots (0 = |C(s0)|)"),
+	}
+}
+
+func (c *common) analysis() (*let.Analysis, error) {
+	if *c.file != "" {
+		f, err := os.Open(*c.file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sys, err := model.FromJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		return let.Analyze(sys)
+	}
+	if *c.lite {
+		return let.Analyze(waters.Lite())
+	}
+	return waters.Analyze()
+}
+
+func (c *common) objective() (dma.Objective, error) {
+	switch *c.obj {
+	case "none", "noobj":
+		return dma.NoObjective, nil
+	case "dmat":
+		return dma.MinTransfers, nil
+	case "del":
+		return dma.MinDelayRatio, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q", *c.obj)
+}
+
+func (c *common) config() (experiments.Config, error) {
+	obj, err := c.objective()
+	if err != nil {
+		return experiments.Config{}, err
+	}
+	solver := experiments.SolverComb
+	if *c.solver == "milp" {
+		solver = experiments.SolverMILP
+	} else if *c.solver != "comb" {
+		return experiments.Config{}, fmt.Errorf("unknown solver %q", *c.solver)
+	}
+	return experiments.Config{
+		Alpha:         *c.alpha,
+		Objective:     obj,
+		Solver:        solver,
+		MILPTimeLimit: *c.timeout,
+		Slots:         *c.slots,
+	}, nil
+}
+
+func cmdFig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
+	c := commonFlags(fs)
+	csvOut := fs.Bool("csv", false, "emit CSV instead of the text table")
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	cfg, err := c.config()
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Fig2(a, cfg)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return experiments.WriteFig2CSV(os.Stdout, res)
+	}
+	experiments.RenderFig2(os.Stdout, res)
+	return nil
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	c := commonFlags(fs)
+	csvOut := fs.Bool("csv", false, "emit CSV instead of the text table")
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	cfg, err := c.config()
+	if err != nil {
+		return err
+	}
+	alphas := []float64{0.2, 0.4}
+	rows, err := experiments.TableI(a, alphas, cfg)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return experiments.WriteTableICSV(os.Stdout, rows)
+	}
+	experiments.RenderTableI(os.Stdout, rows, alphas)
+	return nil
+}
+
+func cmdSensitivity(args []string) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	c := commonFlags(fs)
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	cfg, err := c.config()
+	if err != nil {
+		return err
+	}
+	rows := experiments.Sensitivity(a, []float64{0.1, 0.2, 0.3, 0.4, 0.5}, cfg)
+	experiments.RenderSensitivity(os.Stdout, rows)
+	return nil
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	c := commonFlags(fs)
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	cfg, err := c.config()
+	if err != nil {
+		return err
+	}
+	solved, err := experiments.SolveProposed(a, cfg)
+	if err != nil {
+		return err
+	}
+	printSolution(a, solved)
+	return nil
+}
+
+func printSolution(a *let.Analysis, solved *experiments.Solved) {
+	cm := dma.DefaultCostModel()
+	fmt.Printf("Solved in %v: %d DMA transfers%s\n\n", solved.SolveTime.Round(time.Millisecond),
+		solved.NumTransfers, milpSuffix(solved))
+	fmt.Println("Memory layout (objects in address order):")
+	for m := 0; m <= a.Sys.NumCores; m++ {
+		mem := memName(a, m)
+		objs := solved.Layout.Order(model.MemoryID(m))
+		if len(objs) == 0 {
+			continue
+		}
+		fmt.Printf("  %s:", mem)
+		addrs := solved.Layout.Addresses(model.MemoryID(m), a.Sys)
+		for _, o := range objs {
+			name := a.Sys.Label(o.Label).Name
+			if o.Task != dma.SharedObject {
+				name += "/" + a.Sys.Task(o.Task).Name
+			}
+			fmt.Printf(" [%s @0x%04x]", name, addrs[o])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nDMA transfer schedule at s0:")
+	elapsed := timeutil.Time(0)
+	for g, tr := range solved.Sched.Transfers {
+		cost := cm.TransferCost(dma.TransferSize(a, tr))
+		elapsed += cost
+		fmt.Printf("  d%-2d (%8s, ends %8s):", g+1, cost, elapsed)
+		for _, z := range tr.Comms {
+			fmt.Printf(" %s", a.CommString(z))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nWorst-case data-acquisition latencies:")
+	for _, task := range a.Sys.Tasks {
+		lam := dma.WorstLatency(a, cm, solved.Sched, task.ID, dma.PerTaskReadiness)
+		gamma := "-"
+		if g, ok := solved.Gamma[task.ID]; ok {
+			gamma = g.String()
+		}
+		fmt.Printf("  %-5s lambda=%-10s gamma=%-10s lambda/T=%.5f\n",
+			task.Name, lam, gamma, float64(lam)/float64(task.Period))
+	}
+}
+
+func milpSuffix(s *experiments.Solved) string {
+	if s.MILPStatus == "" {
+		return ""
+	}
+	return " (MILP: " + s.MILPStatus + ")"
+}
+
+func memName(a *let.Analysis, m int) string {
+	if m == a.Sys.NumCores {
+		return "M_G (global)"
+	}
+	return fmt.Sprintf("M%d (core %d)", m, m)
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	c := commonFlags(fs)
+	proto := fs.String("protocol", "proposed", "protocol: proposed | cpu | dmaa | dmab")
+	hps := fs.Int("hyperperiods", 1, "hyperperiods to simulate")
+	traceFile := fs.String("trace", "", "write a chrome://tracing JSON file")
+	gantt := fs.Duration("gantt", 0, "render an ASCII timeline of the first N of simulated time")
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	cfg, err := c.config()
+	if err != nil {
+		return err
+	}
+	var p sim.Protocol
+	switch *proto {
+	case "proposed":
+		p = sim.Proposed
+	case "cpu":
+		p = sim.GiottoCPU
+	case "dmaa":
+		p = sim.GiottoDMAA
+	case "dmab":
+		p = sim.GiottoDMAB
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+	var sched *dma.Schedule
+	if p == sim.Proposed || p == sim.GiottoDMAB {
+		solved, err := experiments.SolveProposed(a, cfg)
+		if err != nil {
+			return err
+		}
+		sched = solved.Sched
+	}
+	var tr *trace.Trace
+	if *traceFile != "" || *gantt > 0 {
+		tr = &trace.Trace{}
+	}
+	res, err := sim.Run(sim.Config{
+		Analysis: a, Cost: dma.DefaultCostModel(), Sched: sched,
+		Protocol: p, Hyperperiods: *hps, Trace: tr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Simulated %s over %d hyperperiod(s); Property-3 violations: %d\n\n",
+		p, *hps, res.Property3Violations)
+	fmt.Printf("%-6s %6s %14s %14s %8s\n", "task", "jobs", "max lambda", "max response", "misses")
+	for _, task := range a.Sys.Tasks {
+		st := res.Stats[task.ID]
+		fmt.Printf("%-6s %6d %14s %14s %8d\n", st.Name, st.Jobs, st.MaxLatency, st.MaxResponse, st.Misses)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChrome(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d trace events to %s (open in chrome://tracing)\n", len(tr.Events), *traceFile)
+	}
+	if *gantt > 0 {
+		fmt.Println()
+		if err := tr.RenderASCII(os.Stdout, 0, timeutil.Time(*gantt), 100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdChannels(args []string) error {
+	fs := flag.NewFlagSet("channels", flag.ExitOnError)
+	c := commonFlags(fs)
+	maxK := fs.Int("maxk", 4, "evaluate 1..maxk DMA channels")
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	cfg, err := c.config()
+	if err != nil {
+		return err
+	}
+	solved, err := experiments.SolveProposed(a, cfg)
+	if err != nil {
+		return err
+	}
+	cm := dma.DefaultCostModel()
+	fmt.Printf("Multi-channel DMA extension on %d transfers (%s, alpha=%.1f)\n\n",
+		solved.NumTransfers, cfg.Objective, cfg.Alpha)
+	fmt.Printf("%-9s %12s", "channels", "max lam/T")
+	for _, task := range a.Sys.Tasks {
+		fmt.Printf(" %10s", task.Name)
+	}
+	fmt.Println()
+	for k := 1; k <= *maxK; k++ {
+		asg, err := multidma.GreedyAssign(a, cm, solved.Sched, k)
+		if err != nil {
+			return err
+		}
+		if err := multidma.Validate(a, cm, solved.Sched, asg); err != nil {
+			return fmt.Errorf("k=%d: %w", k, err)
+		}
+		ratio, err := multidma.MaxLatencyRatio(a, cm, solved.Sched, asg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9d %12.5f", k, ratio)
+		for _, task := range a.Sys.Tasks {
+			lam, err := multidma.Latency(a, cm, solved.Sched, asg, 0, task.ID)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %10s", lam)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdRTA(args []string) error {
+	fs := flag.NewFlagSet("rta", flag.ExitOnError)
+	c := commonFlags(fs)
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	cm := dma.DefaultCostModel()
+	intf := rta.LETDemand(a, cm, dma.GiottoPerCommSchedule(a))
+	wcrt, err := rta.WCRT(a.Sys, nil, intf)
+	if err != nil {
+		return err
+	}
+	gammas, gerr := rta.Gammas(a, intf, *c.alpha)
+	fmt.Printf("%-6s %10s %10s %12s %12s %12s\n", "task", "T", "C", "WCRT", "slack", fmt.Sprintf("gamma(%.1f)", *c.alpha))
+	for _, task := range a.Sys.Tasks {
+		g := "-"
+		if gerr == nil {
+			if gv, ok := gammas[task.ID]; ok {
+				g = gv.String()
+			}
+		}
+		fmt.Printf("%-6s %10s %10s %12s %12s %12s\n",
+			task.Name, task.Period, task.WCET, wcrt[task.ID], task.Period-wcrt[task.ID], g)
+	}
+	if gerr != nil {
+		fmt.Printf("\ngamma assignment failed: %v\n", gerr)
+	}
+	return nil
+}
+
+func cmdLP(args []string) error {
+	fs := flag.NewFlagSet("lp", flag.ExitOnError)
+	c := commonFlags(fs)
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	obj, err := c.objective()
+	if err != nil {
+		return err
+	}
+	return letopt.WriteLP(os.Stdout, a, dma.DefaultCostModel(), nil, obj, *c.slots)
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	systems := fs.Int("systems", 100, "random systems per alpha")
+	seed := fs.Int64("seed", 1, "generator seed")
+	maxBytes := fs.Int64("maxbytes", 32<<10, "max random label size")
+	auto := fs.Bool("automotive", false, "use the KDB automotive benchmark generator")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of the text table")
+	_ = fs.Parse(args)
+	rows, err := experiments.Campaign(experiments.CampaignConfig{
+		Systems:    *systems,
+		Seed:       *seed,
+		RandomOpts: waters.RandomOptions{MaxLabelBytes: *maxBytes},
+		Automotive: *auto,
+	})
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return experiments.WriteCampaignCSV(os.Stdout, rows)
+	}
+	fmt.Printf("Acceptance ratios over %d random systems per alpha (seed %d):\n\n", *systems, *seed)
+	experiments.RenderCampaign(os.Stdout, rows)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	c := commonFlags(fs)
+	_ = fs.Parse(args)
+	var sys *model.System
+	switch {
+	case *c.file != "":
+		f, err := os.Open(*c.file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var perr error
+		sys, perr = model.FromJSON(f)
+		if perr != nil {
+			return perr
+		}
+	case *c.lite:
+		sys = waters.Lite()
+	default:
+		sys = waters.System()
+	}
+	return sys.ToJSON(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module letdma
+
+go 1.22

@@ -1,0 +1,79 @@
+// Package dbuf implements the double-buffer mechanism the paper's
+// communication model relies on for labels shared by tasks on the *same*
+// core (Section III-B, citing Hamann et al. [2]): the writer mutates a back
+// buffer during its job and publishes it at its LET write instant; readers
+// snapshot the front buffer at their LET read instant. Published buffers
+// are never mutated in place, so a reader's snapshot is deterministic in
+// both time and value.
+//
+// On the target platforms same-core tasks never run in parallel, so the
+// synchronization below compiles down to almost nothing; it is nonetheless
+// race-free under the Go memory model so that host-side simulations can
+// exercise it with concurrent goroutines and the race detector.
+package dbuf
+
+import (
+	"sync"
+)
+
+// Label is a double-buffered intra-core label holding values of type T.
+// The zero value is not usable; create instances with New.
+type Label[T any] struct {
+	mu sync.Mutex
+	// front is the value visible to readers; back is the writer's
+	// in-progress value. Swapped by Publish.
+	front, back T
+	version     uint64 // number of publishes
+	initialized bool
+}
+
+// New creates a label whose initial front value is init (the value readers
+// observe before the first publish, e.g. a sensor default).
+func New[T any](init T) *Label[T] {
+	return &Label[T]{front: init, back: init, initialized: true}
+}
+
+// WriteBack lets the producer mutate the back buffer in place. It must only
+// be called by the (single) writer task between its release and its LET
+// write instant. The callback must not retain the pointer.
+func (l *Label[T]) WriteBack(f func(*T)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f(&l.back)
+}
+
+// Set replaces the back buffer wholesale (convenience for value types).
+func (l *Label[T]) Set(v T) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.back = v
+}
+
+// Publish is the LET write: the back buffer becomes visible to readers,
+// and the new back buffer is re-seeded with the just-published value so
+// that incremental WriteBack updates always build on the latest published
+// state. Returns the new version number.
+func (l *Label[T]) Publish() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.front, l.back = l.back, l.front
+	l.back = l.front
+	l.version++
+	return l.version
+}
+
+// Snapshot is the LET read: it returns a copy of the last published value
+// and its version. Copies are taken under the lock, so a snapshot can never
+// observe a torn value even if the writer publishes concurrently.
+func (l *Label[T]) Snapshot() (T, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.front, l.version
+}
+
+// Version returns the number of publishes so far.
+func (l *Label[T]) Version() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.version
+}

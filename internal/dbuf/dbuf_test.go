@@ -1,0 +1,181 @@
+package dbuf
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"letdma/internal/let"
+	"letdma/internal/timeutil"
+)
+
+func TestInitialValue(t *testing.T) {
+	l := New(42)
+	v, ver := l.Snapshot()
+	if v != 42 || ver != 0 {
+		t.Errorf("Snapshot = %d v%d, want 42 v0", v, ver)
+	}
+}
+
+func TestPublishMakesValueVisible(t *testing.T) {
+	l := New(0)
+	l.Set(7)
+	// Not yet published: readers still see the old front.
+	if v, _ := l.Snapshot(); v != 0 {
+		t.Errorf("unpublished write visible: %d", v)
+	}
+	if ver := l.Publish(); ver != 1 {
+		t.Errorf("Publish version = %d, want 1", ver)
+	}
+	if v, ver := l.Snapshot(); v != 7 || ver != 1 {
+		t.Errorf("Snapshot = %d v%d, want 7 v1", v, ver)
+	}
+}
+
+func TestWriteBackIncremental(t *testing.T) {
+	type state struct{ a, b int }
+	l := New(state{a: 1, b: 2})
+	l.WriteBack(func(s *state) { s.a = 10 })
+	l.Publish()
+	// Incremental update must build on the latest published state.
+	l.WriteBack(func(s *state) { s.b = 20 })
+	l.Publish()
+	v, ver := l.Snapshot()
+	if v.a != 10 || v.b != 20 || ver != 2 {
+		t.Errorf("Snapshot = %+v v%d, want {10 20} v2", v, ver)
+	}
+}
+
+func TestVersionCounts(t *testing.T) {
+	l := New("x")
+	for i := 1; i <= 5; i++ {
+		l.Set("v")
+		if got := l.Publish(); got != uint64(i) {
+			t.Fatalf("Publish #%d returned %d", i, got)
+		}
+	}
+	if l.Version() != 5 {
+		t.Errorf("Version = %d", l.Version())
+	}
+}
+
+// TestNoTornReads runs a writer and several concurrent readers over a
+// payload whose invariant (all elements equal) can only break if a
+// snapshot interleaves with a publish or an in-place write.
+func TestNoTornReads(t *testing.T) {
+	const n = 256
+	l := New([n]int32{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, _ := l.Snapshot()
+				for i := 1; i < n; i++ {
+					if v[i] != v[0] {
+						t.Errorf("torn read: v[0]=%d v[%d]=%d", v[0], i, v[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	for iter := int32(1); iter <= 500; iter++ {
+		l.WriteBack(func(arr *[n]int32) {
+			for i := range arr {
+				arr[i] = iter
+			}
+		})
+		l.Publish()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestLETSequence replays the LET timing of an intra-core producer/consumer
+// pair: the producer publishes at the start of each of its periods (the
+// delayed write of the previous job), the consumer snapshots at each of its
+// releases. The version observed at a release must equal the number of
+// publish instants at or before it — value determinism independent of job
+// execution times.
+func TestLETSequence(t *testing.T) {
+	prop := func(pw, pr uint8) bool {
+		tw := timeutil.Time(int64(pw%9)+1) * timeutil.Millisecond
+		tr := timeutil.Time(int64(pr%9)+1) * timeutil.Millisecond
+		h, err := timeutil.Hyperperiod(tw, tr)
+		if err != nil {
+			return false
+		}
+		l := New(uint64(0))
+		// Event-driven replay over two hyperperiods.
+		published := uint64(0)
+		for tick := timeutil.Time(0); tick < 2*h; tick += timeutil.Millisecond {
+			// LET order at an instant: writes before reads.
+			if int64(tick)%int64(tw) == 0 {
+				l.Set(published + 1)
+				l.Publish()
+				published++
+			}
+			if int64(tick)%int64(tr) == 0 {
+				v, ver := l.Snapshot()
+				if ver != published || v != published {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchesLETReadIndices ties the buffer to the let-package skip rules:
+// a consumer that skips unnecessary reads (per ReadIndices) observes
+// exactly the same sequence of versions as one that reads every period.
+func TestMatchesLETReadIndices(t *testing.T) {
+	tw := timeutil.Milliseconds(10)
+	tr := timeutil.Milliseconds(4)
+	idxs, err := let.ReadIndices(tw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	needed := make(map[int64]bool)
+	for _, v := range idxs {
+		needed[v] = true
+	}
+	lcm, _ := timeutil.LCM(int64(tw), int64(tr))
+
+	l := New(uint64(0))
+	published := uint64(0)
+	var everySeen, skipSeen []uint64
+	var lastSkip uint64
+	for tick := int64(0); tick < lcm; tick += int64(timeutil.Millisecond) {
+		if tick%int64(tw) == 0 {
+			l.Set(published + 1)
+			l.Publish()
+			published++
+		}
+		if tick%int64(tr) == 0 {
+			v, _ := l.Snapshot()
+			everySeen = append(everySeen, v)
+			job := tick / int64(tr)
+			if needed[job%(lcm/int64(tr))] {
+				lastSkip = v
+			}
+			skipSeen = append(skipSeen, lastSkip)
+		}
+	}
+	for i := range everySeen {
+		if everySeen[i] != skipSeen[i] {
+			t.Fatalf("job %d: skipping reader sees %d, full reader sees %d", i, skipSeen[i], everySeen[i])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package dma
+
+import (
+	"letdma/internal/let"
+)
+
+// The three baseline approaches of Section VII are expressed as schedule
+// constructions plus a (cost model, readiness rule) pair:
+//
+//   - Giotto-CPU: one copy per communication performed by the CPU in the
+//     Giotto order (all writes, then all reads); tasks become ready after
+//     the whole sequence (AfterAllReadiness) with CPUCopyCostModel.
+//   - Giotto-DMA-A: one DMA transfer per communication in the Giotto order
+//     (no knowledge of the memory layout, so no grouping is possible);
+//     AfterAllReadiness with the DMA cost model.
+//   - Giotto-DMA-B: the grouped transfers found by the optimizer, reordered
+//     into the Giotto sequence; AfterAllReadiness with the DMA cost model.
+
+// GiottoPerCommSchedule returns the Giotto-DMA-A (and Giotto-CPU) schedule:
+// one transfer per communication, all writes first, then all reads, each in
+// communication-index order. Single-label transfers are trivially
+// contiguous under any layout.
+func GiottoPerCommSchedule(a *let.Analysis) *Schedule {
+	s := &Schedule{}
+	for z, c := range a.Comms {
+		if c.Kind == let.Write {
+			s.Transfers = append(s.Transfers, Transfer{Comms: []int{z}})
+		}
+	}
+	for z, c := range a.Comms {
+		if c.Kind == let.Read {
+			s.Transfers = append(s.Transfers, Transfer{Comms: []int{z}})
+		}
+	}
+	return s
+}
+
+// GiottoReorder returns the Giotto-DMA-B schedule: the same transfers as
+// opt (thus reusing the optimized memory layout and grouping), stably
+// reordered so that all write transfers precede all read transfers, as the
+// Giotto sequence mandates. Since each transfer carries a single direction
+// class, the partition is well defined.
+func GiottoReorder(a *let.Analysis, opt *Schedule) *Schedule {
+	s := &Schedule{}
+	for _, tr := range opt.Transfers {
+		if a.Comms[tr.Comms[0]].Kind == let.Write {
+			s.Transfers = append(s.Transfers, Transfer{Comms: append([]int(nil), tr.Comms...)})
+		}
+	}
+	for _, tr := range opt.Transfers {
+		if a.Comms[tr.Comms[0]].Kind == let.Read {
+			s.Transfers = append(s.Transfers, Transfer{Comms: append([]int(nil), tr.Comms...)})
+		}
+	}
+	return s
+}
+
+// TrivialLayout places the required objects of every memory in their
+// deterministic (label, task) order. It is a valid layout for any schedule
+// whose transfers are all singletons (Giotto-CPU and Giotto-DMA-A).
+func TrivialLayout(a *let.Analysis) *Layout {
+	l := NewLayout()
+	for m, objs := range RequiredObjects(a) {
+		// SetOrder cannot fail here: RequiredObjects returns unique objects.
+		if err := l.SetOrder(m, objs); err != nil {
+			panic(err)
+		}
+	}
+	return l
+}

@@ -1,0 +1,117 @@
+package dma
+
+import (
+	"letdma/internal/let"
+	"letdma/internal/model"
+	"letdma/internal/timeutil"
+)
+
+// ReadinessRule selects when a task released at a communication instant
+// becomes ready for execution.
+type ReadinessRule int
+
+const (
+	// PerTaskReadiness is rule R1/R3 of the proposed protocol: a task is
+	// ready as soon as the transfer carrying the last of its own LET
+	// communications completes.
+	PerTaskReadiness ReadinessRule = iota
+	// AfterAllReadiness is the Giotto sequence: every task released at t
+	// becomes ready only after all LET communications at t complete.
+	AfterAllReadiness
+)
+
+// LastCommTransfer returns the index, within the induced schedule at t, of
+// the last transfer carrying a communication of task ti (its G^W or G^R),
+// and whether ti has any communication at t.
+func LastCommTransfer(a *let.Analysis, s *Schedule, t timeutil.Time, ti model.TaskID) (int, bool) {
+	induced, _ := s.InducedAt(a, t)
+	last, found := -1, false
+	for g, tr := range induced {
+		for _, z := range tr.Comms {
+			if a.Comms[z].Task == ti {
+				last, found = g, true
+				break
+			}
+		}
+	}
+	return last, found
+}
+
+// Latency returns the data-acquisition latency lambda_i of task ti at
+// instant t under the given readiness rule, using the accumulation
+// semantics of Constraint 9: each issued transfer costs lambda_O plus
+// omega_c times the bytes it moves, and transfers are strictly sequential.
+//
+// Under PerTaskReadiness the latency accumulates transfers up to and
+// including the one carrying ti's last communication at t (zero if ti has
+// none). Under AfterAllReadiness every task released at t waits for the
+// whole induced schedule (zero if no communication is required at t).
+func Latency(a *let.Analysis, cm CostModel, s *Schedule, t timeutil.Time, ti model.TaskID, rule ReadinessRule) timeutil.Time {
+	switch rule {
+	case AfterAllReadiness:
+		return s.Duration(a, cm, t)
+	case PerTaskReadiness:
+		induced, _ := s.InducedAt(a, t)
+		last, found := -1, false
+		for g, tr := range induced {
+			for _, z := range tr.Comms {
+				if a.Comms[z].Task == ti {
+					last, found = g, true
+					break
+				}
+			}
+		}
+		if !found {
+			return 0
+		}
+		var total timeutil.Time
+		for g := 0; g <= last; g++ {
+			total += cm.TransferCost(TransferSize(a, induced[g]))
+		}
+		return total
+	default:
+		panic("dma: unknown readiness rule")
+	}
+}
+
+// WorstLatency returns max over the release instants of ti in [0, H) of
+// Latency at that instant. Release instants outside T* contribute zero. By
+// Theorem 1, for a feasible solution under PerTaskReadiness the maximum is
+// attained at s0 = 0.
+func WorstLatency(a *let.Analysis, cm CostModel, s *Schedule, ti model.TaskID, rule ReadinessRule) timeutil.Time {
+	period := a.Sys.Task(ti).Period
+	var worst timeutil.Time
+	for _, t := range a.Instants() {
+		if int64(t)%int64(period) != 0 {
+			continue // ti is not released at t
+		}
+		if l := Latency(a, cm, s, t, ti, rule); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// AllWorstLatencies returns WorstLatency for every task of the system,
+// indexed by TaskID.
+func AllWorstLatencies(a *let.Analysis, cm CostModel, s *Schedule, rule ReadinessRule) []timeutil.Time {
+	out := make([]timeutil.Time, len(a.Sys.Tasks))
+	for _, task := range a.Sys.Tasks {
+		out[task.ID] = WorstLatency(a, cm, s, task.ID, rule)
+	}
+	return out
+}
+
+// MaxLatencyRatio returns the objective value of Eq. (5): the maximum over
+// tasks of lambda_i / T_i at s0 under the given rule.
+func MaxLatencyRatio(a *let.Analysis, cm CostModel, s *Schedule, rule ReadinessRule) float64 {
+	var worst float64
+	for _, task := range a.Sys.Tasks {
+		l := Latency(a, cm, s, 0, task.ID, rule)
+		r := float64(l) / float64(task.Period)
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

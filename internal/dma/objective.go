@@ -1,0 +1,27 @@
+package dma
+
+// Objective selects the optimization goal of Section VI.
+type Objective int
+
+const (
+	// NoObjective solves the pure feasibility problem (NO-OBJ).
+	NoObjective Objective = iota
+	// MinTransfers minimizes max_i RGI_i, Eq. (4) (OBJ-DMAT): the index of
+	// the latest transfer any task waits for, which with gap-free schedules
+	// tracks the number of DMA transfers.
+	MinTransfers
+	// MinDelayRatio minimizes max_i lambda_i / T_i, Eq. (5) (OBJ-DEL).
+	MinDelayRatio
+)
+
+// String names the objective with the paper's labels.
+func (o Objective) String() string {
+	switch o {
+	case NoObjective:
+		return "NO-OBJ"
+	case MinTransfers:
+		return "OBJ-DMAT"
+	default:
+		return "OBJ-DEL"
+	}
+}

@@ -1,0 +1,176 @@
+package dma
+
+import (
+	"fmt"
+	"sort"
+
+	"letdma/internal/let"
+	"letdma/internal/model"
+	"letdma/internal/timeutil"
+)
+
+// Deadlines maps each task to its data-acquisition deadline gamma_i.
+// Tasks absent from the map are unconstrained.
+type Deadlines map[model.TaskID]timeutil.Time
+
+// Validate checks a candidate (layout, schedule) pair against the full
+// feasibility conditions of Section VI, independently of any optimizer:
+//
+//   - the schedule partitions C(s0) into transfers (Constraint 1);
+//   - each transfer has a single direction class (same source/destination);
+//   - the layout hosts every required object exactly once per memory;
+//   - at every distinct activation pattern t in T*, the labels of each
+//     induced transfer are contiguous and identically ordered in both the
+//     local and the global memory (Constraint 6 / Theorem 1);
+//   - LET Property 1 (Constraint 7) and Property 2 (Constraint 8) hold;
+//   - lambda_i(s0) <= gamma_i for every constrained task (Constraint 9);
+//   - all transfers issued at t1 complete before the next instant t2 of
+//     T*, including the wrap-around to the next hyperperiod (Constraint 10).
+//
+// A nil error means the solution is feasible.
+func Validate(a *let.Analysis, cm CostModel, layout *Layout, sched *Schedule, gamma Deadlines) error {
+	if err := cm.Validate(); err != nil {
+		return err
+	}
+	commTr, err := sched.CommTransfer(a.NumComms())
+	if err != nil {
+		return err
+	}
+
+	// Uniform direction class per transfer.
+	for g, tr := range sched.Transfers {
+		if len(tr.Comms) == 0 {
+			return fmt.Errorf("dma: transfer %d is empty", g)
+		}
+		cl := a.Class(tr.Comms[0])
+		for _, z := range tr.Comms[1:] {
+			if a.Class(z) != cl {
+				return fmt.Errorf("dma: transfer %d mixes direction classes %v and %v", g, cl, a.Class(z))
+			}
+		}
+	}
+
+	// Required objects all placed, exactly once (SetOrder already rejects
+	// duplicates; here we check presence), and within each memory's
+	// capacity when one is declared.
+	for m, objs := range RequiredObjects(a) {
+		var bytes int64
+		for _, o := range objs {
+			if _, ok := layout.Position(m, o); !ok {
+				return fmt.Errorf("dma: required object %v not placed in memory %d", o, m)
+			}
+			bytes += a.Sys.Label(o.Label).Size
+		}
+		if cap := a.Sys.MemoryCapacity(m); cap > 0 && bytes > cap {
+			return fmt.Errorf("dma: memory %d needs %d bytes for label copies but holds %d", m, bytes, cap)
+		}
+	}
+
+	// Contiguity at every distinct activation pattern.
+	for _, t := range a.ActiveSubsets() {
+		induced, origin := sched.InducedAt(a, t)
+		for k, tr := range induced {
+			if err := checkContiguous(a, layout, tr); err != nil {
+				return fmt.Errorf("dma: transfer %d at t=%v: %w", origin[k], t, err)
+			}
+		}
+	}
+
+	// Property 1: per task, all writes before all reads (transfer order).
+	for _, task := range a.Sys.Tasks {
+		ws, rs := a.GroupsFor(0, task.ID)
+		for _, w := range ws {
+			for _, r := range rs {
+				if commTr[w] >= commTr[r] {
+					return fmt.Errorf("dma: Property 1 violated for task %s: %s in transfer %d not before %s in transfer %d",
+						task.Name, a.CommString(w), commTr[w], a.CommString(r), commTr[r])
+				}
+			}
+		}
+	}
+
+	// Property 2: per label, the write strictly precedes every read.
+	for z, c := range a.Comms {
+		if c.Kind != let.Write {
+			continue
+		}
+		for z2, c2 := range a.Comms {
+			if c2.Kind == let.Read && c2.Label == c.Label && commTr[z] >= commTr[z2] {
+				return fmt.Errorf("dma: Property 2 violated for label %s: write in transfer %d, read by %s in transfer %d",
+					a.Sys.Label(c.Label).Name, commTr[z], a.Sys.Task(c2.Task).Name, commTr[z2])
+			}
+		}
+	}
+
+	// Constraint 9 at s0.
+	for tid, g := range gamma {
+		if l := Latency(a, cm, sched, 0, tid, PerTaskReadiness); l > g {
+			return fmt.Errorf("dma: Constraint 9 violated for task %s: lambda=%v > gamma=%v",
+				a.Sys.Task(tid).Name, l, g)
+		}
+	}
+
+	// Constraint 10 between consecutive instants and across the
+	// hyperperiod boundary.
+	instants := a.Instants()
+	for i, t1 := range instants {
+		var next timeutil.Time
+		if i+1 < len(instants) {
+			next = instants[i+1]
+		} else {
+			next = a.H // instants repeat at H with the s0 pattern
+		}
+		if d := sched.Duration(a, cm, t1); d > next-t1 {
+			return fmt.Errorf("dma: Constraint 10 violated: communications at t=%v take %v but the next instant is at %v",
+				t1, d, next)
+		}
+	}
+	return nil
+}
+
+// checkContiguous verifies that the labels of one (induced) transfer occupy
+// consecutive positions in both involved memories, with the same relative
+// order, so that a single (source address, destination address, size)
+// triple programs the whole copy.
+func checkContiguous(a *let.Analysis, layout *Layout, tr Transfer) error {
+	localMem := a.LocalMemory(tr.Comms[0])
+	globalMem := a.Sys.GlobalMemory()
+
+	type placed struct {
+		z         int
+		localPos  int
+		globalPos int
+	}
+	ps := make([]placed, 0, len(tr.Comms))
+	for _, z := range tr.Comms {
+		lobj, gobj := CommObjects(a, z)
+		lp, ok := layout.Position(localMem, lobj)
+		if !ok {
+			return fmt.Errorf("object %v not placed in local memory %d", lobj, localMem)
+		}
+		gp, ok := layout.Position(globalMem, gobj)
+		if !ok {
+			return fmt.Errorf("object %v not placed in global memory", gobj)
+		}
+		ps = append(ps, placed{z: z, localPos: lp, globalPos: gp})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].localPos < ps[j].localPos })
+	for i := 1; i < len(ps); i++ {
+		if ps[i].localPos != ps[i-1].localPos+1 {
+			return fmt.Errorf("labels %s and %s not adjacent in local memory %d (positions %d, %d)",
+				a.CommString(ps[i-1].z), a.CommString(ps[i].z), localMem, ps[i-1].localPos, ps[i].localPos)
+		}
+		if ps[i].globalPos != ps[i-1].globalPos+1 {
+			return fmt.Errorf("labels %s and %s not adjacent or reordered in global memory (positions %d, %d)",
+				a.CommString(ps[i-1].z), a.CommString(ps[i].z), ps[i-1].globalPos, ps[i].globalPos)
+		}
+	}
+	// Equal sizes on both sides are implied: the same labels are copied.
+	// A stricter check: matching byte extents.
+	for i := 1; i < len(ps); i++ {
+		if a.Comms[ps[i].z].Label == a.Comms[ps[i-1].z].Label {
+			return fmt.Errorf("transfer copies label %d twice", a.Comms[ps[i].z].Label)
+		}
+	}
+	return nil
+}

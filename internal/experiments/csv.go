@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteFig2CSV emits one or more Fig. 2 panels as CSV rows
+// (panel metadata + per-task latencies and ratios), for plotting with
+// external tools.
+func WriteFig2CSV(w io.Writer, results ...*Fig2Result) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{
+		"objective", "alpha", "task",
+		"lambda_proposed_ns", "lambda_cpu_ns", "lambda_dmaa_ns", "lambda_dmab_ns",
+		"ratio_cpu", "ratio_dmaa", "ratio_dmab",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, row := range r.Rows {
+			rec := []string{
+				r.Objective.String(),
+				fmt.Sprintf("%.2f", r.Alpha),
+				row.Task,
+				fmt.Sprint(int64(row.Proposed)),
+				fmt.Sprint(int64(row.CPU)),
+				fmt.Sprint(int64(row.DMAA)),
+				fmt.Sprint(int64(row.DMAB)),
+				fmt.Sprintf("%.6f", row.RatioCPU()),
+				fmt.Sprintf("%.6f", row.RatioDMAA()),
+				fmt.Sprintf("%.6f", row.RatioDMAB()),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableICSV emits Table I rows as CSV.
+func WriteTableICSV(w io.Writer, rows []TableIRow) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"objective", "alpha", "solve_time_ms", "transfers", "milp_status"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Objective.String(),
+			fmt.Sprintf("%.2f", r.Alpha),
+			fmt.Sprintf("%.3f", float64(r.SolveTime)/float64(time.Millisecond)),
+			fmt.Sprint(r.NumTransfers),
+			r.MILPStatus,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCampaignCSV emits campaign rows as CSV.
+func WriteCampaignCSV(w io.Writer, rows []CampaignRow) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"alpha", "systems", "proposed", "giotto_dma", "giotto_cpu"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprintf("%.2f", r.Alpha),
+			fmt.Sprint(r.Total), fmt.Sprint(r.Proposed), fmt.Sprint(r.DMAA), fmt.Sprint(r.CPU),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

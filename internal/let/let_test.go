@@ -1,0 +1,364 @@
+package let
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"letdma/internal/model"
+	"letdma/internal/timeutil"
+)
+
+func ms(v int64) timeutil.Time { return timeutil.Milliseconds(v) }
+
+func TestWriteIndices(t *testing.T) {
+	cases := []struct {
+		tw, tr int64
+		want   []int64
+	}{
+		{10, 10, []int64{0}},          // same rate: every write
+		{10, 5, []int64{0}},           // slow producer, fast consumer: every write
+		{5, 10, []int64{0}},           // oversampled producer: skip odd writes
+		{5, 15, []int64{0}},           // skip 2 of 3
+		{10, 15, []int64{0, 1, 3, 4}}, // LCM 30: writes at 0,10,30,40 within 60? no: within 30 -> producer jobs 0,1,2; reads at 0,15: floor(0)=0, floor(15/10)=1 -> {0,1}
+	}
+	// Correct the last expectation: LCM(10,15)=30; consumer jobs v=0,1 at
+	// t=0,15; necessary producer indices floor(v*15/10) = 0, 1.
+	cases[4].want = []int64{0, 1}
+	for _, c := range cases {
+		got, err := WriteIndices(ms(c.tw), ms(c.tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("WriteIndices(%d, %d) = %v, want %v", c.tw, c.tr, got, c.want)
+		}
+	}
+}
+
+func TestReadIndices(t *testing.T) {
+	cases := []struct {
+		tw, tr int64
+		want   []int64
+	}{
+		{10, 10, []int64{0}},             // same rate: every read
+		{5, 10, []int64{0}},              // fast producer, slow consumer: every read
+		{10, 5, []int64{0}},              // oversampled consumer: skip the stale read at 5
+		{15, 5, []int64{0}},              // skip 2 of 3
+		{10, 4, []int64{0, 3}},           // LCM 20: writes at 0,10 -> reads at ceil(0)=0, ceil(10/4)=3
+		{33, 15, []int64{0, 3, 5, 7, 9}}, // LCM 165: writes 0,33,66,99,132 -> ceil(v*33/15)
+	}
+	for _, c := range cases {
+		got, err := ReadIndices(ms(c.tw), ms(c.tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ReadIndices(%d, %d) = %v, want %v", c.tw, c.tr, got, c.want)
+		}
+	}
+}
+
+// Property: necessary-write indices are sorted, unique, within range, start
+// at 0, and the count never exceeds the number of consumer jobs per
+// repetition period; dually for reads.
+func TestIndicesProperties(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		tw := timeutil.Time(int64(a%50)+1) * timeutil.Millisecond
+		tr := timeutil.Time(int64(b%50)+1) * timeutil.Millisecond
+		lcm, err := timeutil.LCM(int64(tw), int64(tr))
+		if err != nil {
+			return false
+		}
+		ws, err := WriteIndices(tw, tr)
+		if err != nil {
+			return false
+		}
+		rs, err := ReadIndices(tw, tr)
+		if err != nil {
+			return false
+		}
+		nw, nr := lcm/int64(tw), lcm/int64(tr)
+		check := func(idxs []int64, n, otherN int64) bool {
+			if len(idxs) == 0 || idxs[0] != 0 {
+				return false
+			}
+			for i := range idxs {
+				if idxs[i] < 0 || idxs[i] >= n {
+					return false
+				}
+				if i > 0 && idxs[i] <= idxs[i-1] {
+					return false
+				}
+			}
+			if int64(len(idxs)) > n || int64(len(idxs)) > otherN {
+				return false
+			}
+			return true
+		}
+		// #writes <= min(#producer jobs, #consumer jobs), dually for reads.
+		return check(ws, nw, nr) && check(rs, nr, nw)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every necessary write index is eventually consumed. For each
+// consumer job v, the producer index floor(v*tr/tw) must be in the write
+// set when the producer is oversampled.
+func TestWriteIndicesCoverAllReads(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		tw := int64(a%30) + 1
+		tr := int64(b%30) + 1
+		if tw >= tr {
+			return true
+		}
+		ws, err := WriteIndices(timeutil.Time(tw), timeutil.Time(tr))
+		if err != nil {
+			return false
+		}
+		in := make(map[int64]bool, len(ws))
+		for _, w := range ws {
+			in[w] = true
+		}
+		lcm, _ := timeutil.LCM(tw, tr)
+		for v := int64(0); v < lcm/tr; v++ {
+			if !in[timeutil.FloorDiv(v*tr, tw)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildChain returns a 2-core system with a producer/consumer pair plus a
+// second slow consumer, mirroring the paper's multi-consumer case.
+func buildChain(t *testing.T) (*model.System, *model.Task, *model.Task, *model.Task) {
+	t.Helper()
+	sys := model.NewSystem(2)
+	prod := sys.MustAddTask("prod", ms(5), timeutil.Millisecond, 0)
+	fast := sys.MustAddTask("fast", ms(10), timeutil.Millisecond, 1)
+	slow := sys.MustAddTask("slow", ms(20), timeutil.Millisecond, 1)
+	sys.MustAddLabel("lA", 64, prod, fast, slow)
+	sys.MustAddLabel("lB", 32, fast, prod)
+	sys.AssignRateMonotonicPriorities()
+	return sys, prod, fast, slow
+}
+
+func TestCommHyperperiod(t *testing.T) {
+	sys, prod, fast, slow := buildChain(t)
+	h, err := CommHyperperiod(sys, prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != ms(20) { // LCM(5, 10, 20): prod talks to fast and slow
+		t.Errorf("H*(prod) = %v, want 20ms", h)
+	}
+	h, err = CommHyperperiod(sys, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != ms(10) { // fast only communicates with prod: LCM(10, 5)
+		t.Errorf("H*(fast) = %v, want 10ms", h)
+	}
+	h, err = CommHyperperiod(sys, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != ms(20) { // LCM(20, 5)
+		t.Errorf("H*(slow) = %v, want 20ms", h)
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	sys, prod, fast, slow := buildChain(t)
+	a, err := Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(s0): writes W(prod,lA), W(fast,lB); reads R(lA,fast), R(lA,slow), R(lB,prod).
+	if a.NumComms() != 5 {
+		t.Fatalf("NumComms = %d, want 5", a.NumComms())
+	}
+	if a.H != ms(20) {
+		t.Errorf("H = %v, want 20ms", a.H)
+	}
+	lA, lB := sys.LabelByName("lA"), sys.LabelByName("lB")
+	wantOrder := []Comm{
+		{Write, prod.ID, lA.ID},
+		{Write, fast.ID, lB.ID},
+		{Read, fast.ID, lA.ID},
+		{Read, slow.ID, lA.ID},
+		{Read, prod.ID, lB.ID},
+	}
+	if !reflect.DeepEqual(a.Comms, wantOrder) {
+		t.Errorf("Comms = %v, want %v", a.Comms, wantOrder)
+	}
+	for i, c := range wantOrder {
+		if a.CommIndex(c) != i {
+			t.Errorf("CommIndex(%v) = %d, want %d", c, a.CommIndex(c), i)
+		}
+	}
+	if a.CommIndex(Comm{Write, slow.ID, lA.ID}) != -1 {
+		t.Error("CommIndex of non-existent communication should be -1")
+	}
+}
+
+func TestAnalyzeActivations(t *testing.T) {
+	sys, prod, fast, slow := buildChain(t)
+	a, err := Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lA := sys.LabelByName("lA")
+	// W(prod, lA): prod period 5, consumers fast (10) and slow (20).
+	// For fast: writes at floor(v*10/5)*5 = 0,10 per 10ms -> 0,10 in [0,20).
+	// For slow: writes at floor(v*20/5)*5 = 0 per 20ms.
+	// Union: {0, 10}.
+	z := a.CommIndex(Comm{Write, prod.ID, lA.ID})
+	if got := a.Activations(z); !reflect.DeepEqual(got, []timeutil.Time{0, ms(10)}) {
+		t.Errorf("W(prod,lA) activations = %v, want [0 10ms]", got)
+	}
+	// R(lA, fast): consumer 10ms slower than producer 5ms: every read: 0,10.
+	z = a.CommIndex(Comm{Read, fast.ID, lA.ID})
+	if got := a.Activations(z); !reflect.DeepEqual(got, []timeutil.Time{0, ms(10)}) {
+		t.Errorf("R(lA,fast) activations = %v, want [0 10ms]", got)
+	}
+	// R(lA, slow): consumer 20ms: reads at 0.
+	z = a.CommIndex(Comm{Read, slow.ID, lA.ID})
+	if got := a.Activations(z); !reflect.DeepEqual(got, []timeutil.Time{0}) {
+		t.Errorf("R(lA,slow) activations = %v, want [0]", got)
+	}
+	// R(lB, prod): producer fast (10ms), consumer prod (5ms): oversampled
+	// consumer: reads at ceil(v*10/5)*5 = 0, 10.
+	z = a.CommIndex(Comm{Read, prod.ID, sys.LabelByName("lB").ID})
+	if got := a.Activations(z); !reflect.DeepEqual(got, []timeutil.Time{0, ms(10)}) {
+		t.Errorf("R(lB,prod) activations = %v, want [0 10ms]", got)
+	}
+}
+
+func TestInstantsAndSubsets(t *testing.T) {
+	sys, _, _, _ := buildChain(t)
+	a, err := Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Instants(); !reflect.DeepEqual(got, []timeutil.Time{0, ms(10)}) {
+		t.Errorf("Instants = %v, want [0 10ms]", got)
+	}
+	if err := a.SubsetProperty(); err != nil {
+		t.Errorf("SubsetProperty: %v", err)
+	}
+	if got := len(a.ActiveAt(0)); got != 5 {
+		t.Errorf("|C(s0)| = %d, want 5", got)
+	}
+	// At 10ms the slow read is not active.
+	if got := len(a.ActiveAt(ms(10))); got != 4 {
+		t.Errorf("|C(10ms)| = %d, want 4", got)
+	}
+	if a.ActiveAt(ms(5)) != nil {
+		t.Error("C(5ms) should be nil (no communication required)")
+	}
+	reps := a.ActiveSubsets()
+	if len(reps) != 2 || reps[0] != 0 {
+		t.Errorf("ActiveSubsets = %v", reps)
+	}
+}
+
+func TestGroupsForAlgorithm1(t *testing.T) {
+	sys, prod, fast, slow := buildChain(t)
+	a, err := Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, r := a.GroupsFor(0, prod.ID)
+	if len(w) != 1 || len(r) != 1 {
+		t.Errorf("GroupsFor(0, prod): %d writes %d reads, want 1 and 1", len(w), len(r))
+	}
+	w, r = a.GroupsFor(0, fast.ID)
+	if len(w) != 1 || len(r) != 1 {
+		t.Errorf("GroupsFor(0, fast): %d writes %d reads, want 1 and 1", len(w), len(r))
+	}
+	w, r = a.GroupsFor(0, slow.ID)
+	if len(w) != 0 || len(r) != 1 {
+		t.Errorf("GroupsFor(0, slow): %d writes %d reads, want 0 and 1", len(w), len(r))
+	}
+	w, r = a.GroupsFor(ms(10), slow.ID)
+	if len(w) != 0 || len(r) != 0 {
+		t.Errorf("GroupsFor(10ms, slow): %d writes %d reads, want 0 and 0", len(w), len(r))
+	}
+}
+
+func TestPerMemorySets(t *testing.T) {
+	sys, _, _, _ := buildChain(t)
+	a, err := Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 hosts prod: one write (lA) and one read (lB).
+	if got := a.WritesAt(0, 0); len(got) != 1 {
+		t.Errorf("C^W(0, M0) = %v, want 1 element", got)
+	}
+	if got := a.ReadsAt(0, 0); len(got) != 1 {
+		t.Errorf("C^R(0, M0) = %v, want 1 element", got)
+	}
+	// Core 1 hosts fast and slow: one write (lB), two reads (lA x2).
+	if got := a.WritesAt(0, 1); len(got) != 1 {
+		t.Errorf("C^W(0, M1) = %v, want 1 element", got)
+	}
+	if got := a.ReadsAt(0, 1); len(got) != 2 {
+		t.Errorf("C^R(0, M1) = %v, want 2 elements", got)
+	}
+}
+
+func TestClassAndStrings(t *testing.T) {
+	sys, prod, _, _ := buildChain(t)
+	a, err := Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := a.CommIndex(Comm{Write, prod.ID, sys.LabelByName("lA").ID})
+	cl := a.Class(z)
+	if cl.Mem != sys.LocalMemory(0) || cl.Kind != Write {
+		t.Errorf("Class = %+v", cl)
+	}
+	if got := a.CommString(z); got != "W(prod, lA)" {
+		t.Errorf("CommString = %q", got)
+	}
+	zr := a.CommIndex(Comm{Read, prod.ID, sys.LabelByName("lB").ID})
+	if got := a.CommString(zr); got != "R(lB, prod)" {
+		t.Errorf("CommString = %q", got)
+	}
+	if got := a.Size(z); got != 64 {
+		t.Errorf("Size = %d, want 64", got)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	// No labels at all.
+	sys := model.NewSystem(2)
+	sys.MustAddTask("a", ms(10), 0, 0)
+	sys.AssignRateMonotonicPriorities()
+	if _, err := Analyze(sys); err == nil {
+		t.Error("expected error for system without inter-core labels")
+	}
+	// Only intra-core labels.
+	sys2 := model.NewSystem(1)
+	x := sys2.MustAddTask("x", ms(10), 0, 0)
+	y := sys2.MustAddTask("y", ms(10), 0, 0)
+	sys2.MustAddLabel("l", 4, x, y)
+	sys2.AssignRateMonotonicPriorities()
+	if _, err := Analyze(sys2); err == nil {
+		t.Error("expected error for system with only intra-core labels")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Write.String() != "W" || Read.String() != "R" {
+		t.Error("Kind.String mismatch")
+	}
+}

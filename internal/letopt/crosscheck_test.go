@@ -1,0 +1,98 @@
+package letopt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"letdma/internal/combopt"
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/milp"
+	"letdma/internal/waters"
+)
+
+// TestMILPNeverWorseThanCombopt solves random small systems with both the
+// combinatorial optimizer and the MILP (warm-started with the former) and
+// checks that the MILP's objective is never worse, that both solutions pass
+// the independent validator, and that infeasibility verdicts agree.
+func TestMILPNeverWorseThanCombopt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP cross-check is slow")
+	}
+	rng := rand.New(rand.NewSource(77))
+	cm := dma.DefaultCostModel()
+	solvedTrials := 0
+	for trial := 0; solvedTrials < 6 && trial < 60; trial++ {
+		sys := waters.Random(rng, waters.RandomOptions{MaxTasks: 5, MaxLabels: 4})
+		a, err := let.Analyze(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumComms() > 6 {
+			continue // keep the MILP small enough for a tight time limit
+		}
+		comb, err := combopt.Solve(a, cm, nil, dma.MinDelayRatio)
+		if err != nil {
+			continue // rare: random system infeasible at all granularities
+		}
+		// A short limit suffices: the never-worse property holds for the
+		// incumbent too, thanks to the warm start.
+		res, err := Solve(a, cm, nil, dma.MinDelayRatio, Options{
+			MILP:       milp.Params{TimeLimit: 10 * time.Second},
+			WarmLayout: comb.Layout,
+			WarmSched:  comb.Sched,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Sched == nil {
+			t.Fatalf("trial %d: MILP returned no solution despite warm start", trial)
+		}
+		milpRatio := dma.MaxLatencyRatio(a, cm, res.Sched, dma.PerTaskReadiness)
+		if milpRatio > comb.Objective+1e-9 {
+			t.Errorf("trial %d: MILP ratio %g worse than combinatorial %g", trial, milpRatio, comb.Objective)
+		}
+		if err := dma.Validate(a, cm, res.Layout, res.Sched, nil); err != nil {
+			t.Errorf("trial %d: MILP solution invalid: %v", trial, err)
+		}
+		solvedTrials++
+	}
+	if solvedTrials < 3 {
+		t.Fatalf("only %d cross-check trials completed", solvedTrials)
+	}
+}
+
+// TestDeterministicSolve: solving the same model twice must produce the
+// same status, objective and schedule (bit-for-bit reproducibility matters
+// for an offline configuration tool).
+func TestDeterministicSolve(t *testing.T) {
+	a := chainSystem(t)
+	cm := dma.DefaultCostModel()
+	run := func() *Result {
+		res, err := Solve(a, cm, nil, dma.MinDelayRatio, Options{MILP: milp.Params{TimeLimit: 60 * time.Second}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.Status != r2.Status || r1.Objective != r2.Objective || r1.Nodes != r2.Nodes {
+		t.Errorf("non-deterministic solve: (%v, %g, %d nodes) vs (%v, %g, %d nodes)",
+			r1.Status, r1.Objective, r1.Nodes, r2.Status, r2.Objective, r2.Nodes)
+	}
+	if len(r1.Sched.Transfers) != len(r2.Sched.Transfers) {
+		t.Fatal("schedules differ in length")
+	}
+	for g := range r1.Sched.Transfers {
+		a1, a2 := r1.Sched.Transfers[g].Comms, r2.Sched.Transfers[g].Comms
+		if len(a1) != len(a2) {
+			t.Fatalf("transfer %d differs", g)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("transfer %d comm %d differs: %d vs %d", g, i, a1[i], a2[i])
+			}
+		}
+	}
+}

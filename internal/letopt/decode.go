@@ -1,0 +1,61 @@
+package letopt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"letdma/internal/dma"
+)
+
+// decode converts a feasible variable assignment into a memory layout and a
+// DMA transfer schedule.
+func (f *formulation) decode(x []float64) (*dma.Layout, *dma.Schedule, error) {
+	layout := dma.NewLayout()
+	for _, mem := range f.memories() {
+		objs := f.objsOf[mem]
+		type placed struct {
+			o   dma.Object
+			pos float64
+		}
+		ps := make([]placed, len(objs))
+		for i, o := range objs {
+			ps[i] = placed{o: o, pos: x[f.pl[mem][i]]}
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].pos < ps[j].pos })
+		ordered := make([]dma.Object, len(ps))
+		for i, p := range ps {
+			ordered[i] = p.o
+			if math.Abs(p.pos-float64(i)) > 0.01 {
+				return nil, nil, fmt.Errorf("letopt: PL values of memory %d are not a permutation (pos %d has PL %.3f)", mem, i, p.pos)
+			}
+		}
+		if err := layout.SetOrder(mem, ordered); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	sched := &dma.Schedule{}
+	for g := 1; g <= f.G; g++ {
+		var comms []int
+		for z := range f.a.Comms {
+			if x[f.cg[z][g-1]] > 0.5 {
+				comms = append(comms, z)
+			}
+		}
+		if len(comms) == 0 {
+			continue
+		}
+		// Order the transfer's communications by local-memory position.
+		lmem := f.a.LocalMemory(comms[0])
+		sort.Slice(comms, func(i, j int) bool {
+			oi, _ := dma.CommObjects(f.a, comms[i])
+			oj, _ := dma.CommObjects(f.a, comms[j])
+			pi, _ := layout.Position(lmem, oi)
+			pj, _ := layout.Position(lmem, oj)
+			return pi < pj
+		})
+		sched.Transfers = append(sched.Transfers, dma.Transfer{Comms: comms})
+	}
+	return layout, sched, nil
+}

@@ -1,0 +1,258 @@
+package letopt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/milp"
+	"letdma/internal/model"
+)
+
+func cloneLayout(l *dma.Layout, mems []model.MemoryID) *dma.Layout {
+	nl := dma.NewLayout()
+	for _, m := range mems {
+		if err := nl.SetOrder(m, l.Order(m)); err != nil {
+			panic(err)
+		}
+	}
+	return nl
+}
+
+// orderedPartitions enumerates every ordered partition of the
+// communications into non-empty transfers (the validator rejects
+// mixed-class or non-contiguous ones).
+func orderedPartitions(a *let.Analysis) []*dma.Schedule {
+	n := a.NumComms()
+	var out []*dma.Schedule
+	var rec func(remaining []int, cur []dma.Transfer)
+	rec = func(remaining []int, cur []dma.Transfer) {
+		if len(remaining) == 0 {
+			s := &dma.Schedule{Transfers: append([]dma.Transfer(nil), cur...)}
+			out = append(out, s)
+			return
+		}
+		// The first remaining element anchors the next transfer (avoids
+		// counting permutations of identical partitions within a slot).
+		first := remaining[0]
+		rest := remaining[1:]
+		// Choose any subset of rest to join it.
+		for mask := 0; mask < 1<<uint(len(rest)); mask++ {
+			tr := dma.Transfer{Comms: []int{first}}
+			var left []int
+			for i, z := range rest {
+				if mask&(1<<uint(i)) != 0 {
+					tr.Comms = append(tr.Comms, z)
+				} else {
+					left = append(left, z)
+				}
+			}
+			rec(left, append(cur, tr))
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	rec(all, nil)
+	return out
+}
+
+// orderedPartitionsAll covers every transfer order: orderedPartitions
+// anchors each block on its smallest member (fixing contents), so block
+// permutations complete the enumeration.
+func orderedPartitionsAll(a *let.Analysis) []*dma.Schedule {
+	base := orderedPartitions(a)
+	var out []*dma.Schedule
+	for _, s := range base {
+		perms := permutations(len(s.Transfers))
+		for _, p := range perms {
+			ns := &dma.Schedule{}
+			for _, i := range p {
+				ns.Transfers = append(ns.Transfers, s.Transfers[i])
+			}
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := k; i < n; i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			rec(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// tinySystems builds the instances small enough for exhaustive search.
+func tinySystems(t *testing.T) map[string]*let.Analysis {
+	t.Helper()
+	out := make(map[string]*let.Analysis)
+	out["pair"] = pairSystem(t)
+	out["nested"] = nestedSystem(t)
+
+	// A 3-comm system with one two-consumer label.
+	sys := model.NewSystem(2)
+	p := sys.MustAddTask("p", ms(10), 0, 0)
+	c1 := sys.MustAddTask("c1", ms(10), 0, 1)
+	c2 := sys.MustAddTask("c2", ms(20), 0, 1)
+	sys.MustAddLabel("x", 128, p, c1, c2)
+	sys.AssignRateMonotonicPriorities()
+	a, err := let.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["fanout"] = a
+	return out
+}
+
+// TestMILPMatchesExhaustive verifies that the MILP optimum equals the true
+// optimum computed by brute force, for both objectives, on every tiny
+// instance.
+func TestMILPMatchesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration is slow")
+	}
+	cm := dma.DefaultCostModel()
+	for name, a := range tinySystems(t) {
+		for _, obj := range []dma.Objective{dma.MinTransfers, dma.MinDelayRatio} {
+			want, feasible := exhaustiveAll(t, a, cm, nil, obj)
+			res, err := Solve(a, cm, nil, obj, Options{MILP: milp.Params{TimeLimit: 120 * time.Second}})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, obj, err)
+			}
+			if !feasible {
+				if res.Status != milp.StatusInfeasible {
+					t.Errorf("%s/%s: exhaustive says infeasible, MILP says %v", name, obj, res.Status)
+				}
+				continue
+			}
+			if res.Status != milp.StatusOptimal {
+				t.Fatalf("%s/%s: status %v", name, obj, res.Status)
+			}
+			var got float64
+			switch obj {
+			case dma.MinTransfers:
+				got = float64(res.Sched.NumTransfers())
+			case dma.MinDelayRatio:
+				got = dma.MaxLatencyRatio(a, cm, res.Sched, dma.PerTaskReadiness)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s/%s: MILP=%g exhaustive=%g", name, obj, got, want)
+			}
+		}
+	}
+}
+
+// exhaustiveAll is exhaustive over orderedPartitionsAll (all block orders).
+func exhaustiveAll(t *testing.T, a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objective) (float64, bool) {
+	t.Helper()
+	req := dma.RequiredObjects(a)
+	mems := make([]model.MemoryID, 0, len(req))
+	for m := range req {
+		mems = append(mems, m)
+	}
+	for i := 0; i < len(mems); i++ {
+		for j := i + 1; j < len(mems); j++ {
+			if mems[j] < mems[i] {
+				mems[i], mems[j] = mems[j], mems[i]
+			}
+		}
+	}
+	scheds := orderedPartitionsAll(a)
+	best := math.Inf(1)
+	found := false
+	var layouts func(idx int, layout *dma.Layout)
+	layouts = func(idx int, layout *dma.Layout) {
+		if idx == len(mems) {
+			for _, sched := range scheds {
+				if err := dma.Validate(a, cm, layout, sched, gamma); err != nil {
+					continue
+				}
+				var val float64
+				switch obj {
+				case dma.MinTransfers:
+					val = float64(sched.NumTransfers())
+				case dma.MinDelayRatio:
+					val = dma.MaxLatencyRatio(a, cm, sched, dma.PerTaskReadiness)
+				}
+				if val < best {
+					best = val
+				}
+				found = true
+			}
+			return
+		}
+		m := mems[idx]
+		objs := req[m]
+		perm := make([]dma.Object, len(objs))
+		used := make([]bool, len(objs))
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == len(objs) {
+				nl := cloneLayout(layout, mems[:idx])
+				if err := nl.SetOrder(m, perm); err != nil {
+					t.Fatal(err)
+				}
+				layouts(idx+1, nl)
+				return
+			}
+			for i := range objs {
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				perm[pos] = objs[i]
+				rec(pos + 1)
+				used[i] = false
+			}
+		}
+		rec(0)
+	}
+	layouts(0, dma.NewLayout())
+	return best, found
+}
+
+// TestCombuptNotBetterThanExhaustive: the combinatorial solver is
+// heuristic at the grouping level; its objective must never beat the true
+// optimum (sanity for the validator + objective computations).
+func TestCombuptNotBetterThanExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration is slow")
+	}
+	cm := dma.DefaultCostModel()
+	for name, a := range tinySystems(t) {
+		want, feasible := exhaustiveAll(t, a, cm, nil, dma.MinDelayRatio)
+		if !feasible {
+			continue
+		}
+		res, err := Solve(a, cm, nil, dma.MinDelayRatio, Options{MILP: milp.Params{TimeLimit: 60 * time.Second}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := dma.MaxLatencyRatio(a, cm, res.Sched, dma.PerTaskReadiness)
+		if got < want-1e-9 {
+			t.Errorf("%s: MILP ratio %g beats exhaustive optimum %g — validator or objective bug", name, got, want)
+		}
+	}
+}

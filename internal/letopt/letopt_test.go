@@ -1,0 +1,268 @@
+package letopt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"letdma/internal/combopt"
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/milp"
+	"letdma/internal/model"
+	"letdma/internal/timeutil"
+)
+
+func ms(v int64) timeutil.Time { return timeutil.Milliseconds(v) }
+
+func pairSystem(t *testing.T) *let.Analysis {
+	t.Helper()
+	sys := model.NewSystem(2)
+	p1 := sys.MustAddTask("p1", ms(10), timeutil.Millisecond, 0)
+	p2 := sys.MustAddTask("p2", ms(10), timeutil.Millisecond, 0)
+	c := sys.MustAddTask("c", ms(10), timeutil.Millisecond, 1)
+	sys.MustAddLabel("l1", 100, p1, c)
+	sys.MustAddLabel("l2", 200, p2, c)
+	sys.AssignRateMonotonicPriorities()
+	a, err := let.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func chainSystem(t *testing.T) *let.Analysis {
+	t.Helper()
+	sys := model.NewSystem(2)
+	prod := sys.MustAddTask("prod", ms(5), timeutil.Millisecond, 0)
+	fast := sys.MustAddTask("fast", ms(10), timeutil.Millisecond, 1)
+	slow := sys.MustAddTask("slow", ms(20), timeutil.Millisecond, 1)
+	sys.MustAddLabel("lA", 64, prod, fast, slow)
+	sys.MustAddLabel("lB", 32, fast, prod)
+	sys.AssignRateMonotonicPriorities()
+	a, err := let.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func nestedSystem(t *testing.T) *let.Analysis {
+	t.Helper()
+	sys := model.NewSystem(2)
+	p1 := sys.MustAddTask("p1", ms(10), timeutil.Millisecond, 0)
+	p2 := sys.MustAddTask("p2", ms(20), timeutil.Millisecond, 0)
+	c := sys.MustAddTask("c", ms(5), timeutil.Millisecond, 1)
+	sys.MustAddLabel("l1", 128, p1, c)
+	sys.MustAddLabel("l2", 64, p2, c)
+	sys.AssignRateMonotonicPriorities()
+	a, err := let.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func solverParams() milp.Params {
+	return milp.Params{TimeLimit: 60 * time.Second}
+}
+
+func TestPairMinTransfers(t *testing.T) {
+	a := pairSystem(t)
+	cm := dma.DefaultCostModel()
+	res, err := Solve(a, cm, nil, dma.MinTransfers, Options{MILP: solverParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("status = %v (gap %.3g after %v)", res.Status, res.Gap, res.Runtime)
+	}
+	if res.Sched.NumTransfers() != 2 {
+		t.Errorf("transfers = %d, want 2 (grouped writes + grouped reads)", res.Sched.NumTransfers())
+	}
+	if res.Objective != 2 {
+		t.Errorf("maxRGI = %g, want 2", res.Objective)
+	}
+}
+
+func TestChainNoObjective(t *testing.T) {
+	a := chainSystem(t)
+	cm := dma.DefaultCostModel()
+	res, err := Solve(a, cm, nil, dma.NoObjective, Options{MILP: solverParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Layout == nil || res.Sched == nil {
+		t.Fatal("expected a decoded solution")
+	}
+	// Already validated inside Solve; re-validate for paranoia.
+	if err := dma.Validate(a, cm, res.Layout, res.Sched, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSubsetContiguity(t *testing.T) {
+	// The optimal grouping for the nested system needs the onion layout at
+	// t = 10ms (only l1 active): the MILP must find 2 transfers and the
+	// validator must accept them at every activation pattern.
+	a := nestedSystem(t)
+	cm := dma.DefaultCostModel()
+	res, err := Solve(a, cm, nil, dma.MinTransfers, Options{MILP: solverParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Sched.NumTransfers() != 2 {
+		t.Errorf("transfers = %d, want 2 (chain-merged)", res.Sched.NumTransfers())
+	}
+}
+
+func TestWarmStartFromCombopt(t *testing.T) {
+	// The combinatorial solution must be accepted verbatim as a MILP warm
+	// start: this cross-validates the whole formulation against the
+	// independent constructive solver.
+	for _, build := range []func(*testing.T) *let.Analysis{pairSystem, chainSystem, nestedSystem} {
+		a := build(t)
+		cm := dma.DefaultCostModel()
+		comb, err := combopt.Solve(a, cm, nil, dma.MinDelayRatio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(a, cm, nil, dma.MinDelayRatio, Options{
+			MILP:       solverParams(),
+			WarmLayout: comb.Layout,
+			WarmSched:  comb.Sched,
+		})
+		if err != nil {
+			t.Fatalf("warm-started solve failed: %v", err)
+		}
+		if res.Status != milp.StatusOptimal && res.Status != milp.StatusFeasible {
+			t.Fatalf("status = %v", res.Status)
+		}
+		// The MILP optimum cannot be worse than the warm start.
+		if res.Objective > comb.Objective+1e-9 {
+			t.Errorf("MILP objective %g worse than warm start %g", res.Objective, comb.Objective)
+		}
+	}
+}
+
+func TestChainDelayRatioBeatsGiotto(t *testing.T) {
+	a := chainSystem(t)
+	cm := dma.DefaultCostModel()
+	res, err := Solve(a, cm, nil, dma.MinDelayRatio, Options{MILP: solverParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	got := dma.MaxLatencyRatio(a, cm, res.Sched, dma.PerTaskReadiness)
+	giotto := dma.MaxLatencyRatio(a, cm, dma.GiottoPerCommSchedule(a), dma.AfterAllReadiness)
+	if got > giotto {
+		t.Errorf("optimized ratio %g not better than Giotto %g", got, giotto)
+	}
+	// The MILP objective must match the recomputed ratio of the decoded
+	// schedule (both use the Constraint-9 accumulation).
+	if diff := res.Objective - got; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("MILP objective %g != recomputed ratio %g", res.Objective, got)
+	}
+}
+
+func TestInfeasibleDeadline(t *testing.T) {
+	a := pairSystem(t)
+	cm := dma.DefaultCostModel()
+	gamma := dma.Deadlines{a.Sys.TaskByName("c").ID: timeutil.Microsecond}
+	res, err := Solve(a, cm, gamma, dma.NoObjective, Options{MILP: solverParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestGapSanityShortCircuit(t *testing.T) {
+	sys := model.NewSystem(2)
+	x := sys.MustAddTask("x", timeutil.Microseconds(20), 0, 0)
+	y := sys.MustAddTask("y", timeutil.Microseconds(20), 0, 1)
+	sys.MustAddLabel("l", 1<<20, x, y) // 1 MiB in a 20us period: hopeless
+	sys.AssignRateMonotonicPriorities()
+	a, err := let.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := Solve(a, dma.DefaultCostModel(), nil, dma.NoObjective, Options{MILP: solverParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("gap sanity check did not short-circuit")
+	}
+}
+
+func TestSlotsCapRestrictsModel(t *testing.T) {
+	a := chainSystem(t)
+	cm := dma.DefaultCostModel()
+	v1, c1, err := ModelSize(a, cm, nil, dma.NoObjective, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, c2, err := ModelSize(a, cm, nil, dma.NoObjective, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 || c1 != c2 {
+		t.Errorf("slots=0 should default to |C(s0)|=5: (%d,%d) vs (%d,%d)", v1, c1, v2, c2)
+	}
+	v3, _, err := ModelSize(a, cm, nil, dma.NoObjective, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 >= v1 {
+		t.Errorf("capping slots should shrink the model: %d vs %d vars", v3, v1)
+	}
+}
+
+func TestWriteLPSmoke(t *testing.T) {
+	a := pairSystem(t)
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, a, dma.DefaultCostModel(), nil, dma.MinDelayRatio, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"Minimize", "CG_0_1_", "Subject To", "Binary"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("LP dump missing %q", want)
+		}
+	}
+}
+
+func TestTightDeadlineForcesEarlyRead(t *testing.T) {
+	// gamma(fast) only allows fast's communications among the first
+	// transfers; the solver must honor it and the validator agrees.
+	a := chainSystem(t)
+	cm := dma.DefaultCostModel()
+	fast := a.Sys.TaskByName("fast").ID
+	gamma := dma.Deadlines{fast: timeutil.Microseconds(45)}
+	res, err := Solve(a, cm, gamma, dma.NoObjective, Options{MILP: solverParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	lam := dma.Latency(a, cm, res.Sched, 0, fast, dma.PerTaskReadiness)
+	if lam > timeutil.Microseconds(45) {
+		t.Errorf("lambda(fast) = %v exceeds 45us", lam)
+	}
+}

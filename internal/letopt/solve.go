@@ -1,0 +1,116 @@
+package letopt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/milp"
+)
+
+// Options configures a Solve call.
+type Options struct {
+	// Slots is the number of DMA transfer slots G; 0 or values larger than
+	// |C(s0)| default to |C(s0)|. Smaller values shrink the model but
+	// restrict the schedule to at most that many transfers.
+	Slots int
+	// MILP are the branch-and-bound parameters (time limit, gap, logging).
+	MILP milp.Params
+	// WarmLayout/WarmSched, when both non-nil, install a known-feasible
+	// solution (e.g. from internal/combopt) as the initial incumbent.
+	WarmLayout *dma.Layout
+	WarmSched  *dma.Schedule
+}
+
+// Result is the outcome of the MILP optimization.
+type Result struct {
+	// Layout and Sched are nil unless Status is optimal or feasible.
+	Layout *dma.Layout
+	Sched  *dma.Schedule
+	Status milp.Status
+	// Objective is the achieved MILP objective (0 for NO-OBJ).
+	Objective float64
+	// BestBound is the proven bound on the objective at termination.
+	BestBound float64
+	Gap       float64
+	Nodes     int
+	Runtime   time.Duration
+	// ModelVars/ModelCons describe the formulation size.
+	ModelVars int
+	ModelCons int
+}
+
+// Solve builds the Section-VI MILP for the analyzed system and optimizes it.
+// The returned solution, if any, is re-validated against the model
+// semantics (dma.Validate) before being returned.
+func Solve(a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objective, opts Options) (*Result, error) {
+	f, err := newFormulation(a, cm, gamma, obj, opts.Slots)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.checkGapSanity(); err != nil {
+		return &Result{Status: milp.StatusInfeasible, ModelVars: f.m.NumVars(), ModelCons: f.m.NumCons()}, nil
+	}
+
+	params := opts.MILP
+	if params.BranchPriority == nil {
+		params.BranchPriority = f.branchPriorities()
+	}
+	if opts.WarmLayout != nil && opts.WarmSched != nil {
+		ws, err := f.warmStart(opts.WarmLayout, opts.WarmSched)
+		if err != nil {
+			return nil, err
+		}
+		params.WarmStart = ws
+	}
+
+	sol, err := milp.Solve(f.m, params)
+	if err != nil {
+		return nil, fmt.Errorf("letopt: %w", err)
+	}
+	res := &Result{
+		Status:    sol.Status,
+		Objective: sol.Obj,
+		BestBound: sol.BestBound,
+		Gap:       sol.Gap,
+		Nodes:     sol.Nodes,
+		Runtime:   sol.Runtime,
+		ModelVars: f.m.NumVars(),
+		ModelCons: f.m.NumCons(),
+	}
+	if sol.X == nil {
+		return res, nil
+	}
+	layout, sched, err := f.decode(sol.X)
+	if err != nil {
+		return nil, fmt.Errorf("letopt: decoding failed: %w", err)
+	}
+	if err := dma.Validate(a, cm, layout, sched, gamma); err != nil {
+		return nil, fmt.Errorf("letopt: MILP solution rejected by validator: %w", err)
+	}
+	res.Layout = layout
+	res.Sched = sched
+	return res, nil
+}
+
+// WriteLP dumps the formulation for the given configuration in CPLEX LP
+// format, for debugging and external cross-checks.
+func WriteLP(w io.Writer, a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objective, slots int) error {
+	f, err := newFormulation(a, cm, gamma, obj, slots)
+	if err != nil {
+		return err
+	}
+	return f.m.WriteLP(w)
+}
+
+// ModelSize reports the variable and constraint counts of the formulation
+// for the given configuration without solving it.
+func ModelSize(a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objective, slots int) (vars, cons int, err error) {
+	f, err := newFormulation(a, cm, gamma, obj, slots)
+	if err != nil {
+		return 0, 0, err
+	}
+	return f.m.NumVars(), f.m.NumCons(), nil
+}

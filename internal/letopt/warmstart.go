@@ -1,0 +1,130 @@
+package letopt
+
+import (
+	"fmt"
+
+	"letdma/internal/dma"
+)
+
+// warmStart translates a known-feasible (layout, schedule) pair — typically
+// produced by internal/combopt — into a complete variable assignment for
+// the MILP, used as the initial incumbent of the branch-and-bound search.
+// Building it also serves as an end-to-end consistency check of the
+// formulation: the assignment must satisfy every constraint.
+func (f *formulation) warmStart(layout *dma.Layout, sched *dma.Schedule) ([]float64, error) {
+	if len(sched.Transfers) > f.G {
+		return nil, fmt.Errorf("letopt: warm start uses %d transfers but the model has %d slots", len(sched.Transfers), f.G)
+	}
+	x := make([]float64, f.m.NumVars())
+
+	// CG, CGI.
+	slotOf := make(map[int]int) // comm -> 1-based slot
+	for g0, tr := range sched.Transfers {
+		for _, z := range tr.Comms {
+			slotOf[z] = g0 + 1
+		}
+	}
+	for z := range f.a.Comms {
+		g, ok := slotOf[z]
+		if !ok {
+			return nil, fmt.Errorf("letopt: warm start misses communication %d", z)
+		}
+		x[f.cg[z][g-1]] = 1
+		x[f.cgi[z]] = float64(g)
+	}
+
+	// RG, RGI.
+	for _, id := range f.tasks {
+		last := 0
+		for _, z := range f.comp[id] {
+			if slotOf[z] > last {
+				last = slotOf[z]
+			}
+		}
+		if last == 0 {
+			return nil, fmt.Errorf("letopt: task %d has no completion communication in warm start", id)
+		}
+		x[f.rg[id][last-1]] = 1
+		x[f.rgi[id]] = float64(last)
+	}
+
+	// PL and AD per memory.
+	for _, mem := range f.memories() {
+		order := layout.Order(mem)
+		if len(order) != len(f.objsOf[mem]) {
+			return nil, fmt.Errorf("letopt: warm-start layout for memory %d has %d objects, model has %d",
+				mem, len(order), len(f.objsOf[mem]))
+		}
+		for pos, o := range order {
+			i, ok := f.objIdx[mem][o]
+			if !ok {
+				return nil, fmt.Errorf("letopt: warm-start layout places unknown object %v in memory %d", o, mem)
+			}
+			x[f.pl[mem][i]] = float64(pos)
+		}
+		start, end := f.dummyStart(mem), f.dummyEnd(mem)
+		first := f.objIdx[mem][order[0]]
+		lastObj := f.objIdx[mem][order[len(order)-1]]
+		x[f.ad[mem][[2]int{start, first}]] = 1
+		x[f.ad[mem][[2]int{lastObj, end}]] = 1
+		for p := 0; p+1 < len(order); p++ {
+			a := f.objIdx[mem][order[p]]
+			b := f.objIdx[mem][order[p+1]]
+			x[f.ad[mem][[2]int{a, b}]] = 1
+		}
+	}
+
+	// ADB and Y linearizations.
+	gmem := f.a.Sys.GlobalMemory()
+	for pair, v := range f.adb {
+		z1, z2 := pair[0], pair[1]
+		lo1, go1 := dma.CommObjects(f.a, z1)
+		lo2, go2 := dma.CommObjects(f.a, z2)
+		lmem := f.a.LocalMemory(z1)
+		adg := x[f.ad[gmem][[2]int{f.objIdx[gmem][go1], f.objIdx[gmem][go2]}]]
+		adl := x[f.ad[lmem][[2]int{f.objIdx[lmem][lo1], f.objIdx[lmem][lo2]}]]
+		if adg > 0.5 && adl > 0.5 {
+			x[v] = 1
+		}
+	}
+	for key, v := range f.y {
+		z1, z2, g0 := key[0], key[1], key[2]
+		if x[f.adb[[2]int{z1, z2}]] > 0.5 && slotOf[z1] == g0+1 && slotOf[z2] == g0+1 {
+			x[v] = 1
+		}
+	}
+
+	// Latencies and objective variable.
+	lamO := usOf(f.cm.PerTransferOverhead())
+	prefixCopy := make([]float64, f.G+1) // prefixCopy[g] = copy us of slots 1..g
+	for g := 1; g <= f.G; g++ {
+		prefixCopy[g] = prefixCopy[g-1]
+		for z := range f.a.Comms {
+			if slotOf[z] == g {
+				prefixCopy[g] += f.copyUs(f.a.Size(z))
+			}
+		}
+	}
+	var maxRGI, rho float64
+	for _, id := range f.tasks {
+		gbar := int(x[f.rgi[id]])
+		if lamVar, ok := f.lam[id]; ok {
+			lam := float64(gbar)*lamO + prefixCopy[gbar]
+			x[lamVar] = lam
+			ti := usOf(f.a.Sys.Task(id).Period)
+			if r := lam / ti; r > rho {
+				rho = r
+			}
+		}
+		if float64(gbar) > maxRGI {
+			maxRGI = float64(gbar)
+		}
+	}
+	switch f.obj {
+	case dma.MinTransfers:
+		x[f.objVar] = maxRGI
+	case dma.MinDelayRatio:
+		x[f.objVar] = rho
+	}
+	return x, nil
+}

@@ -1,0 +1,400 @@
+package milp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// StatusOptimal: an optimal integer solution was found and proven.
+	StatusOptimal Status = iota
+	// StatusFeasible: the search stopped early (time, nodes or gap) with
+	// an incumbent integer solution.
+	StatusFeasible
+	// StatusInfeasible: the model has no integer solution.
+	StatusInfeasible
+	// StatusUnbounded: the relaxation is unbounded.
+	StatusUnbounded
+	// StatusNoSolution: the search stopped early before finding any
+	// integer solution.
+	StatusNoSolution
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return "no-solution"
+	}
+}
+
+// Params controls the branch-and-bound search.
+type Params struct {
+	// TimeLimit bounds the wall-clock solve time; 0 means unlimited.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored nodes; 0 means unlimited.
+	MaxNodes int
+	// GapTol terminates when (incumbent-bestBound)/max(1,|incumbent|)
+	// drops below it; 0 requires proof of optimality.
+	GapTol float64
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// WarmStart, if non-nil, is checked for feasibility and installed as
+	// the initial incumbent.
+	WarmStart []float64
+	// BranchPriority, if non-nil, gives per-variable branching priorities
+	// (higher = branch earlier). Among fractional integer variables, the
+	// highest priority tier is branched first; ties break on fractionality.
+	BranchPriority []int
+	// Log, if non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Solution is the result of a Solve call.
+type Solution struct {
+	Status       Status
+	X            []float64 // incumbent values (nil unless a solution exists)
+	Obj          float64   // objective of X in the model's own sense
+	BestBound    float64   // proven bound in the model's own sense
+	Gap          float64   // relative MIP gap at termination
+	Nodes        int
+	SimplexIters int
+	Runtime      time.Duration
+}
+
+type bbNode struct {
+	lo, hi []float64
+	bound  float64 // parent LP relaxation objective (min sense)
+	depth  int
+	seq    int
+}
+
+// Solve minimizes or maximizes the model by LP-based branch and bound.
+func Solve(m *Model, p Params) (*Solution, error) {
+	start := time.Now()
+	if p.IntTol == 0 {
+		p.IntTol = 1e-6
+	}
+	var deadline time.Time
+	if p.TimeLimit > 0 {
+		deadline = start.Add(p.TimeLimit)
+	}
+
+	// Work in minimization internally.
+	objSign := 1.0
+	if m.ObjSense == Maximize {
+		objSign = -1.0
+	}
+	minObj := func(x []float64) float64 { return objSign * m.Obj.Eval(x) }
+
+	lo := make([]float64, len(m.Vars))
+	hi := make([]float64, len(m.Vars))
+	for i, v := range m.Vars {
+		lo[i], hi[i] = v.Lo, v.Hi
+	}
+	if err := presolve(m, lo, hi); err != nil {
+		return &Solution{Status: StatusInfeasible, Runtime: time.Since(start), Gap: math.Inf(1)}, nil
+	}
+
+	var incumbent []float64
+	incObj := math.Inf(1) // minimization objective of incumbent
+	if p.WarmStart != nil {
+		if err := m.CheckFeasible(p.WarmStart, 1e-6); err != nil {
+			return nil, fmt.Errorf("milp: warm start rejected: %w", err)
+		}
+		incumbent = append([]float64(nil), p.WarmStart...)
+		incObj = minObj(incumbent)
+		logf(p.Log, "warm start accepted, obj=%.6g\n", objSign*incObj)
+	}
+
+	// Collect integer variables once.
+	var intVars []VarID
+	for _, v := range m.Vars {
+		if v.Type != Continuous {
+			intVars = append(intVars, v.ID)
+		}
+	}
+
+	intObjGCD := objIntegerStep(m, objSign)
+	objOffset := objSign * m.Obj.Const // achievable objectives are offset + k*step
+
+	nodes := 0
+	simplexIters := 0
+	seq := 0
+	stack := []*bbNode{{lo: lo, hi: hi, bound: math.Inf(-1), depth: 0, seq: seq}}
+	bestBound := math.Inf(-1)
+	hitLimit := false
+
+	openBound := func() float64 {
+		// Minimum bound among open nodes (and the node being expanded).
+		b := math.Inf(1)
+		for _, n := range stack {
+			if n.bound < b {
+				b = n.bound
+			}
+		}
+		return b
+	}
+
+	for len(stack) > 0 {
+		if p.MaxNodes > 0 && nodes >= p.MaxNodes {
+			hitLimit = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			hitLimit = true
+			break
+		}
+		// Depth-first with best-bound tie-break: take the deepest node;
+		// among equal depth, smaller parent bound first. The stack is kept
+		// so that the last element is the preferred node.
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		// Bound-based pruning (works for warm starts too).
+		if node.bound > incObj-1e-9 && !math.IsInf(node.bound, -1) {
+			continue
+		}
+
+		res := solveLPmin(m, objSign, node.lo, node.hi, deadline)
+		simplexIters += res.iters
+		switch res.status {
+		case lpTimeLimit, lpIterLimit:
+			hitLimit = true
+		case lpInfeasible:
+			continue
+		case lpUnbounded:
+			if len(intVars) == 0 || node.depth == 0 {
+				return &Solution{
+					Status: StatusUnbounded, Nodes: nodes, SimplexIters: simplexIters,
+					Runtime: time.Since(start), Gap: math.Inf(1),
+				}, nil
+			}
+			continue
+		}
+		if hitLimit {
+			break
+		}
+		lpObj := res.obj
+		if lpObj > incObj-1e-9 {
+			continue // cannot improve
+		}
+		// Round the bound up to the next representable objective value
+		// when all objective coefficients over integer variables are
+		// integral multiples of a step.
+		if intObjGCD > 0 {
+			lpObj = roundBoundUp(lpObj, intObjGCD, objOffset)
+			if lpObj > incObj-1e-9 {
+				continue
+			}
+		}
+
+		// Find the branching variable: highest priority tier first, most
+		// fractional within the tier.
+		branchVar := VarID(-1)
+		worstFrac := p.IntTol
+		bestPrio := math.Inf(-1)
+		for _, id := range intVars {
+			f := math.Abs(res.x[id] - math.Round(res.x[id]))
+			if f <= p.IntTol {
+				continue
+			}
+			prio := 0.0
+			if p.BranchPriority != nil {
+				prio = float64(p.BranchPriority[id])
+			}
+			if prio > bestPrio || (prio == bestPrio && f > worstFrac) {
+				bestPrio = prio
+				worstFrac = f
+				branchVar = id
+			}
+		}
+		if branchVar == -1 {
+			// Integral: candidate incumbent. Snap and verify.
+			cand := append([]float64(nil), res.x...)
+			for _, id := range intVars {
+				cand[id] = math.Round(cand[id])
+			}
+			if err := m.CheckFeasible(cand, 1e-5); err == nil {
+				obj := minObj(cand)
+				if obj < incObj-1e-12 {
+					incObj = obj
+					incumbent = cand
+					logf(p.Log, "node %d: new incumbent obj=%.6g\n", nodes, objSign*incObj)
+					if p.GapTol > 0 {
+						ob := math.Min(openBound(), lpObj)
+						if relGap(incObj, ob) <= p.GapTol {
+							hitLimit = true
+						}
+					}
+				}
+			}
+			if hitLimit {
+				break
+			}
+			continue
+		}
+
+		// Branch.
+		xf := res.x[branchVar]
+		downHi := math.Floor(xf)
+		upLo := math.Ceil(xf)
+
+		mk := func(newLo, newHi float64, isUp bool) *bbNode {
+			nl := append([]float64(nil), node.lo...)
+			nh := append([]float64(nil), node.hi...)
+			if isUp {
+				nl[branchVar] = newLo
+			} else {
+				nh[branchVar] = newHi
+			}
+			seq++
+			return &bbNode{lo: nl, hi: nh, bound: lpObj, depth: node.depth + 1, seq: seq}
+		}
+		down := mk(0, downHi, false)
+		up := mk(upLo, 0, true)
+		// Explore the child containing the LP value's nearer integer first
+		// (pushed last).
+		if xf-downHi <= 0.5 {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+
+	// Final bound and gap.
+	if len(stack) == 0 && !hitLimit {
+		bestBound = incObj // search exhausted: bound equals incumbent
+	} else {
+		bestBound = math.Min(openBound(), incObj)
+	}
+
+	sol := &Solution{
+		Nodes:        nodes,
+		SimplexIters: simplexIters,
+		Runtime:      time.Since(start),
+	}
+	switch {
+	case incumbent == nil && !hitLimit:
+		sol.Status = StatusInfeasible
+		sol.Gap = math.Inf(1)
+	case incumbent == nil:
+		sol.Status = StatusNoSolution
+		sol.Gap = math.Inf(1)
+		sol.BestBound = objSign * bestBound
+	default:
+		sol.X = incumbent
+		sol.Obj = objSign * incObj
+		sol.BestBound = objSign * bestBound
+		sol.Gap = relGap(incObj, bestBound)
+		if !hitLimit || sol.Gap <= p.GapTol+1e-12 {
+			sol.Status = StatusOptimal
+		} else {
+			sol.Status = StatusFeasible
+		}
+	}
+	logf(p.Log, "done: status=%s obj=%.6g bound=%.6g gap=%.3g nodes=%d iters=%d in %v\n",
+		sol.Status, sol.Obj, sol.BestBound, sol.Gap, sol.Nodes, sol.SimplexIters, sol.Runtime)
+	return sol, nil
+}
+
+// solveLPmin solves the relaxation in minimization sense, including the
+// objective constant so that LP bounds and incumbent objectives compare
+// directly.
+func solveLPmin(m *Model, objSign float64, lo, hi []float64, deadline time.Time) lpSolution {
+	var res lpSolution
+	if objSign == 1 {
+		res = solveLP(m, lo, hi, deadline)
+	} else {
+		// Negate the objective for maximization models.
+		neg := *m
+		neg.Obj = Expr{}
+		for _, t := range m.Obj.Terms {
+			neg.Obj.Terms = append(neg.Obj.Terms, Term{Var: t.Var, Coef: -t.Coef})
+		}
+		res = solveLP(&neg, lo, hi, deadline)
+	}
+	if res.status == lpOptimal {
+		res.obj += objSign * m.Obj.Const
+	}
+	return res
+}
+
+// relGap computes the relative optimality gap for minimization values.
+func relGap(inc, bound float64) float64 {
+	if math.IsInf(inc, 1) || math.IsInf(bound, -1) {
+		return math.Inf(1)
+	}
+	return (inc - bound) / math.Max(1, math.Abs(inc))
+}
+
+// objIntegerStep returns a step g > 0 such that every achievable objective
+// value is an integer multiple of g, when the objective involves only
+// integer variables with integral coefficients (after sign adjustment);
+// otherwise 0. This enables stronger bound rounding during the search.
+func objIntegerStep(m *Model, objSign float64) float64 {
+	if len(m.Obj.Terms) == 0 {
+		return 0
+	}
+	coefs := make([]float64, 0, len(m.Obj.Terms))
+	for _, t := range m.Obj.Terms {
+		if m.Vars[t.Var].Type == Continuous {
+			return 0
+		}
+		c := math.Abs(t.Coef * objSign)
+		if c == 0 {
+			continue
+		}
+		if c != math.Trunc(c) {
+			return 0
+		}
+		coefs = append(coefs, c)
+	}
+	if len(coefs) == 0 {
+		return 0
+	}
+	sort.Float64s(coefs)
+	g := int64(coefs[0])
+	for _, c := range coefs[1:] {
+		g = gcd64(g, int64(c))
+	}
+	if g <= 0 {
+		return 0
+	}
+	return float64(g)
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// roundBoundUp rounds an LP bound up to the next achievable objective value
+// offset + k*step.
+func roundBoundUp(bound, step, offset float64) float64 {
+	k := math.Ceil((bound-offset)/step - 1e-7)
+	return offset + k*step
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,105 @@
+package milp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLP emits the model in CPLEX LP format, useful for debugging a
+// formulation or cross-checking it with an external solver.
+func (m *Model) WriteLP(w io.Writer) error {
+	var b strings.Builder
+	if m.ObjSense == Minimize {
+		b.WriteString("Minimize\n obj: ")
+	} else {
+		b.WriteString("Maximize\n obj: ")
+	}
+	b.WriteString(m.formatExpr(m.Obj.Terms))
+	if m.Obj.Const != 0 {
+		fmt.Fprintf(&b, " + %g", m.Obj.Const)
+	}
+	b.WriteString("\nSubject To\n")
+	for i, c := range m.Cons {
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", i)
+		}
+		fmt.Fprintf(&b, " %s: %s %s %g\n", sanitize(name), m.formatExpr(c.Terms), c.Sense, c.RHS)
+	}
+	b.WriteString("Bounds\n")
+	for _, v := range m.Vars {
+		switch {
+		case v.Lo == 0 && math.IsInf(v.Hi, 1):
+			// default bound, omit
+		case math.IsInf(v.Lo, -1) && math.IsInf(v.Hi, 1):
+			fmt.Fprintf(&b, " %s free\n", m.varName(v.ID))
+		case math.IsInf(v.Hi, 1):
+			fmt.Fprintf(&b, " %s >= %g\n", m.varName(v.ID), v.Lo)
+		case math.IsInf(v.Lo, -1):
+			fmt.Fprintf(&b, " %s <= %g\n", m.varName(v.ID), v.Hi)
+		default:
+			fmt.Fprintf(&b, " %g <= %s <= %g\n", v.Lo, m.varName(v.ID), v.Hi)
+		}
+	}
+	var bins, ints []string
+	for _, v := range m.Vars {
+		switch v.Type {
+		case Binary:
+			bins = append(bins, m.varName(v.ID))
+		case Integer:
+			ints = append(ints, m.varName(v.ID))
+		}
+	}
+	if len(bins) > 0 {
+		b.WriteString("Binary\n " + strings.Join(bins, " ") + "\n")
+	}
+	if len(ints) > 0 {
+		b.WriteString("General\n " + strings.Join(ints, " ") + "\n")
+	}
+	b.WriteString("End\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (m *Model) varName(id VarID) string {
+	n := m.Vars[id].Name
+	if n == "" {
+		return fmt.Sprintf("x%d", id)
+	}
+	return sanitize(n)
+}
+
+func (m *Model) formatExpr(terms []Term) string {
+	if len(terms) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, t := range terms {
+		c := t.Coef
+		if i == 0 {
+			if c < 0 {
+				b.WriteString("- ")
+				c = -c
+			}
+		} else if c < 0 {
+			b.WriteString(" - ")
+			c = -c
+		} else {
+			b.WriteString(" + ")
+		}
+		if c == 1 {
+			b.WriteString(m.varName(t.Var))
+		} else {
+			fmt.Fprintf(&b, "%g %s", c, m.varName(t.Var))
+		}
+	}
+	return b.String()
+}
+
+// sanitize replaces characters that LP format dislikes.
+func sanitize(s string) string {
+	r := strings.NewReplacer(" ", "_", "(", "_", ")", "_", ",", "_", "*", "x", "+", "p", "[", "_", "]", "_")
+	return r.Replace(s)
+}

@@ -1,0 +1,133 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+)
+
+// presolve tightens the bound arrays in place using cheap inferences:
+//
+//   - singleton rows (a*x <= b etc.) become bound updates;
+//   - rows whose activity range can never violate the constraint are noted
+//     (they remain in the model but cost the simplex little);
+//   - integer bounds are rounded inward;
+//   - crossing bounds (lo > hi) or rows that cannot be satisfied within the
+//     current bounds report infeasibility.
+//
+// Constraints are not removed or rewritten, so no solution mapping is
+// needed; only lo/hi change.
+func presolve(m *Model, lo, hi []float64) error {
+	// Round integer bounds inward first.
+	roundIntBounds(m, lo, hi)
+
+	changed := true
+	for pass := 0; changed && pass < 10; pass++ {
+		changed = false
+		for ci := range m.Cons {
+			con := &m.Cons[ci]
+			if len(con.Terms) == 1 {
+				t := con.Terms[0]
+				if t.Coef == 0 {
+					continue
+				}
+				v := con.RHS / t.Coef
+				switch {
+				case con.Sense == EQ:
+					if tightenLo(m, lo, hi, t.Var, v) || tightenHi(m, lo, hi, t.Var, v) {
+						changed = true
+					}
+				case (con.Sense == LE) == (t.Coef > 0):
+					// x <= v
+					if tightenHi(m, lo, hi, t.Var, v) {
+						changed = true
+					}
+				default:
+					// x >= v
+					if tightenLo(m, lo, hi, t.Var, v) {
+						changed = true
+					}
+				}
+				if lo[t.Var] > hi[t.Var]+feasTol {
+					return fmt.Errorf("milp: presolve: variable %s bounds cross", m.Vars[t.Var].Name)
+				}
+				continue
+			}
+			// Activity-based infeasibility detection.
+			minAct, maxAct := activity(con.Terms, lo, hi)
+			switch con.Sense {
+			case LE:
+				if minAct > con.RHS+1e-6 {
+					return fmt.Errorf("milp: presolve: constraint %s infeasible (min activity %g > %g)", con.Name, minAct, con.RHS)
+				}
+			case GE:
+				if maxAct < con.RHS-1e-6 {
+					return fmt.Errorf("milp: presolve: constraint %s infeasible (max activity %g < %g)", con.Name, maxAct, con.RHS)
+				}
+			case EQ:
+				if minAct > con.RHS+1e-6 || maxAct < con.RHS-1e-6 {
+					return fmt.Errorf("milp: presolve: constraint %s infeasible", con.Name)
+				}
+			}
+		}
+		if changed {
+			roundIntBounds(m, lo, hi)
+		}
+	}
+	for i := range lo {
+		if lo[i] > hi[i]+feasTol {
+			return fmt.Errorf("milp: presolve: variable %s bounds cross", m.Vars[i].Name)
+		}
+	}
+	return nil
+}
+
+func roundIntBounds(m *Model, lo, hi []float64) {
+	for i, v := range m.Vars {
+		if v.Type == Continuous {
+			continue
+		}
+		if !math.IsInf(lo[i], -1) {
+			lo[i] = math.Ceil(lo[i] - 1e-9)
+		}
+		if !math.IsInf(hi[i], 1) {
+			hi[i] = math.Floor(hi[i] + 1e-9)
+		}
+	}
+}
+
+func tightenLo(m *Model, lo, hi []float64, v VarID, val float64) bool {
+	if m.Vars[v].Type != Continuous {
+		val = math.Ceil(val - 1e-9)
+	}
+	if val > lo[v]+1e-12 {
+		lo[v] = val
+		return true
+	}
+	return false
+}
+
+func tightenHi(m *Model, lo, hi []float64, v VarID, val float64) bool {
+	if m.Vars[v].Type != Continuous {
+		val = math.Floor(val + 1e-9)
+	}
+	if val < hi[v]-1e-12 {
+		hi[v] = val
+		return true
+	}
+	return false
+}
+
+// activity returns the minimum and maximum achievable value of the linear
+// form under the bounds (possibly infinite).
+func activity(terms []Term, lo, hi []float64) (minAct, maxAct float64) {
+	for _, t := range terms {
+		if t.Coef > 0 {
+			minAct += t.Coef * lo[t.Var]
+			maxAct += t.Coef * hi[t.Var]
+		} else {
+			minAct += t.Coef * hi[t.Var]
+			maxAct += t.Coef * lo[t.Var]
+		}
+	}
+	return minAct, maxAct
+}

@@ -1,0 +1,492 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Tolerances of the numerical kernel.
+const (
+	feasTol  = 1e-7 // primal feasibility
+	optTol   = 1e-7 // reduced-cost optimality
+	pivotTol = 1e-9 // minimum acceptable pivot magnitude
+	refactor = 120  // pivots between basis-inverse refactorizations
+	blandAt  = 5000 // iterations before switching to Bland's rule
+	maxIters = 200000
+)
+
+// lpStatus is the outcome of one LP solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+	lpIterLimit
+	lpTimeLimit
+)
+
+// sparseCol is one column of the constraint matrix in sparse form.
+type sparseCol struct {
+	rows []int
+	vals []float64
+}
+
+// lpProblem is the computational form: min c'x s.t. Ax = b, lo <= x <= hi,
+// where columns 0..nStruct-1 are the model variables, then one slack per
+// inequality row, then one artificial per row (phase 1 only).
+type lpProblem struct {
+	m       int // rows
+	n       int // structural + slack columns (artificials live in [n, n+m))
+	nStruct int
+	cols    []sparseCol // length n + m (artificials appended)
+	b       []float64
+	c       []float64 // phase-2 costs, length n+m (zero on artificials)
+	lo, hi  []float64 // length n+m
+}
+
+// nonbasic variable states.
+const (
+	stBasic int8 = iota
+	stLower
+	stUpper
+	stFree // nonbasic free variable, held at 0
+)
+
+// lpSolution is the result of an LP solve.
+type lpSolution struct {
+	status lpStatus
+	x      []float64 // structural variable values (length nStruct)
+	obj    float64
+	iters  int
+}
+
+// buildLP converts a model plus (possibly tightened) bounds into
+// computational form. The caller guarantees len(lo) == len(hi) ==
+// len(m.Vars).
+func buildLP(m *Model, lo, hi []float64) *lpProblem {
+	nStruct := len(m.Vars)
+	rows := len(m.Cons)
+	p := &lpProblem{m: rows, nStruct: nStruct}
+
+	// Structural columns.
+	p.cols = make([]sparseCol, nStruct, nStruct+2*rows)
+	for i, con := range m.Cons {
+		for _, t := range con.Terms {
+			p.cols[t.Var].rows = append(p.cols[t.Var].rows, i)
+			p.cols[t.Var].vals = append(p.cols[t.Var].vals, t.Coef)
+		}
+	}
+	p.lo = append(p.lo, lo...)
+	p.hi = append(p.hi, hi...)
+
+	// Slack columns: LE -> s in [0, inf); GE -> s in (-inf, 0]; EQ -> s = 0.
+	p.b = make([]float64, rows)
+	for i, con := range m.Cons {
+		p.b[i] = con.RHS
+		col := sparseCol{rows: []int{i}, vals: []float64{1}}
+		p.cols = append(p.cols, col)
+		switch con.Sense {
+		case LE:
+			p.lo = append(p.lo, 0)
+			p.hi = append(p.hi, Inf)
+		case GE:
+			p.lo = append(p.lo, math.Inf(-1))
+			p.hi = append(p.hi, 0)
+		default:
+			p.lo = append(p.lo, 0)
+			p.hi = append(p.hi, 0)
+		}
+	}
+	p.n = len(p.cols)
+
+	// Phase-2 costs (minimization is handled by the caller).
+	p.c = make([]float64, p.n+rows)
+	for _, t := range m.Obj.Terms {
+		p.c[t.Var] += t.Coef
+	}
+	return p
+}
+
+// simplexState carries the working state of the revised simplex.
+type simplexState struct {
+	p     *lpProblem
+	binv  [][]float64 // m x m explicit basis inverse
+	basis []int       // basic variable per row
+	state []int8      // per column
+	xval  []float64   // current value per column (basic and nonbasic)
+	ncols int         // total columns including artificials
+}
+
+// solveLP runs the two-phase bounded simplex. deadline may be the zero time
+// for no limit.
+func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpSolution {
+	p := buildLP(m, lo, hi)
+
+	// Quick bound sanity: lo > hi means infeasible.
+	for j := 0; j < p.n; j++ {
+		if p.lo[j] > p.hi[j]+feasTol {
+			return lpSolution{status: lpInfeasible}
+		}
+	}
+
+	s := &simplexState{p: p, ncols: p.n + p.m}
+	s.state = make([]int8, s.ncols)
+	s.xval = make([]float64, s.ncols)
+	s.basis = make([]int, p.m)
+
+	// Nonbasic starting point: finite lower bound, else finite upper bound,
+	// else 0 (free).
+	for j := 0; j < p.n; j++ {
+		switch {
+		case !math.IsInf(p.lo[j], -1):
+			s.state[j], s.xval[j] = stLower, p.lo[j]
+		case !math.IsInf(p.hi[j], 1):
+			s.state[j], s.xval[j] = stUpper, p.hi[j]
+		default:
+			s.state[j], s.xval[j] = stFree, 0
+		}
+	}
+
+	// Residual r = b - A*xN determines the artificial columns.
+	r := make([]float64, p.m)
+	copy(r, p.b)
+	for j := 0; j < p.n; j++ {
+		if s.xval[j] == 0 {
+			continue
+		}
+		for k, row := range p.cols[j].rows {
+			r[row] -= p.cols[j].vals[k] * s.xval[j]
+		}
+	}
+	phase1Cost := make([]float64, s.ncols)
+	for i := 0; i < p.m; i++ {
+		sign := 1.0
+		if r[i] < 0 {
+			sign = -1.0
+		}
+		art := p.n + i
+		p.cols = append(p.cols, sparseCol{rows: []int{i}, vals: []float64{sign}})
+		p.lo = append(p.lo, 0)
+		p.hi = append(p.hi, Inf)
+		s.basis[i] = art
+		s.state[art] = stBasic
+		s.xval[art] = math.Abs(r[i])
+		phase1Cost[art] = 1
+	}
+
+	// Identity basis inverse (artificial columns have +/-1 entries, so
+	// B^-1 is diag(sign)).
+	s.binv = make([][]float64, p.m)
+	for i := range s.binv {
+		s.binv[i] = make([]float64, p.m)
+		if r[i] < 0 {
+			s.binv[i][i] = -1
+		} else {
+			s.binv[i][i] = 1
+		}
+	}
+
+	totalIters := 0
+
+	// Phase 1.
+	st, it := s.iterate(phase1Cost, deadline)
+	totalIters += it
+	if st == lpTimeLimit || st == lpIterLimit {
+		return lpSolution{status: st, iters: totalIters}
+	}
+	var p1 float64
+	for i := 0; i < p.m; i++ {
+		p1 += phase1Cost[s.basis[i]] * s.xval[s.basis[i]]
+	}
+	if p1 > 1e-6 {
+		return lpSolution{status: lpInfeasible, iters: totalIters}
+	}
+	// Pin artificials to zero for phase 2.
+	for j := p.n; j < s.ncols; j++ {
+		p.lo[j], p.hi[j] = 0, 0
+		if s.state[j] != stBasic {
+			s.state[j] = stLower
+			s.xval[j] = 0
+		}
+	}
+
+	// Phase 2.
+	st, it = s.iterate(p.c, deadline)
+	totalIters += it
+	if st == lpTimeLimit || st == lpIterLimit {
+		return lpSolution{status: st, iters: totalIters}
+	}
+	if st == lpUnbounded {
+		return lpSolution{status: lpUnbounded, iters: totalIters}
+	}
+
+	x := make([]float64, p.nStruct)
+	copy(x, s.xval[:p.nStruct])
+	obj := 0.0
+	for j := 0; j < p.n; j++ {
+		obj += p.c[j] * s.xval[j]
+	}
+	return lpSolution{status: lpOptimal, x: x, obj: obj, iters: totalIters}
+}
+
+// iterate runs primal simplex iterations with the given cost vector until
+// optimality, unboundedness, or a limit.
+func (s *simplexState) iterate(cost []float64, deadline time.Time) (lpStatus, int) {
+	p := s.p
+	y := make([]float64, p.m)
+	w := make([]float64, p.m)
+	iters := 0
+	sinceRefactor := 0
+
+	for ; iters < maxIters; iters++ {
+		if !deadline.IsZero() && iters%64 == 0 && time.Now().After(deadline) {
+			return lpTimeLimit, iters
+		}
+		bland := iters >= blandAt
+
+		// Dual values y = c_B' * B^-1.
+		for i := range y {
+			y[i] = 0
+		}
+		for i := 0; i < p.m; i++ {
+			cb := cost[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < p.m; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+
+		// Pricing: find entering column.
+		enter := -1
+		var enterDir float64 // +1 increase, -1 decrease
+		best := -optTol
+		for j := 0; j < s.ncols; j++ {
+			stj := s.state[j]
+			if stj == stBasic {
+				continue
+			}
+			if p.lo[j] == p.hi[j] && stj != stFree {
+				continue // fixed variable can never improve
+			}
+			d := cost[j]
+			for k, row := range p.cols[j].rows {
+				d -= y[row] * p.cols[j].vals[k]
+			}
+			var score float64
+			var dir float64
+			switch stj {
+			case stLower:
+				score, dir = d, 1
+			case stUpper:
+				score, dir = -d, -1
+			case stFree:
+				if d < 0 {
+					score, dir = d, 1
+				} else {
+					score, dir = -d, -1
+				}
+			}
+			if score < best-1e-15 {
+				if bland {
+					// Bland: first improving index.
+					enter, enterDir = j, dir
+					break
+				}
+				best = score
+				enter, enterDir = j, dir
+			}
+		}
+		if enter == -1 {
+			return lpOptimal, iters
+		}
+
+		// Direction w = B^-1 * A_enter.
+		for i := range w {
+			w[i] = 0
+		}
+		for k, row := range p.cols[enter].rows {
+			v := p.cols[enter].vals[k]
+			for i := 0; i < p.m; i++ {
+				w[i] += s.binv[i][row] * v
+			}
+		}
+
+		// Ratio test. The entering variable moves by delta >= 0 in
+		// direction enterDir; basic variable i changes by -enterDir*w[i]*delta.
+		delta := math.Inf(1)
+		if !math.IsInf(p.lo[enter], -1) && !math.IsInf(p.hi[enter], 1) {
+			delta = p.hi[enter] - p.lo[enter]
+		}
+		leave := -1 // row index of leaving variable; -1 = bound flip
+		leaveAt := int8(stLower)
+		for i := 0; i < p.m; i++ {
+			step := -enterDir * w[i]
+			if math.Abs(step) < pivotTol {
+				continue
+			}
+			bv := s.basis[i]
+			var lim float64
+			var hitState int8
+			if step < 0 { // basic value decreases toward its lower bound
+				if math.IsInf(p.lo[bv], -1) {
+					continue
+				}
+				lim = (s.xval[bv] - p.lo[bv]) / -step
+				hitState = stLower
+			} else { // increases toward its upper bound
+				if math.IsInf(p.hi[bv], 1) {
+					continue
+				}
+				lim = (p.hi[bv] - s.xval[bv]) / step
+				hitState = stUpper
+			}
+			if lim < -1e-12 {
+				lim = 0
+			}
+			if lim < delta-1e-12 || (lim < delta+1e-12 && leave != -1 && bland && bv < s.basis[leave]) {
+				delta = lim
+				leave = i
+				leaveAt = hitState
+			}
+		}
+		if math.IsInf(delta, 1) {
+			return lpUnbounded, iters
+		}
+
+		// Apply the step.
+		for i := 0; i < p.m; i++ {
+			bv := s.basis[i]
+			s.xval[bv] += -enterDir * w[i] * delta
+		}
+		s.xval[enter] += enterDir * delta
+
+		if leave == -1 {
+			// Bound flip: entering variable moved to its opposite bound.
+			if enterDir > 0 {
+				s.state[enter] = stUpper
+			} else {
+				s.state[enter] = stLower
+			}
+			continue
+		}
+
+		// Pivot: basis change.
+		bv := s.basis[leave]
+		s.state[bv] = leaveAt
+		if leaveAt == stLower {
+			s.xval[bv] = p.lo[bv]
+		} else {
+			s.xval[bv] = p.hi[bv]
+		}
+		s.basis[leave] = enter
+		s.state[enter] = stBasic
+
+		// Update B^-1: row ops eliminating column w.
+		piv := w[leave]
+		if math.Abs(piv) < pivotTol {
+			// Numerically unsafe pivot: refactorize and retry.
+			if err := s.refactorize(); err != nil {
+				return lpInfeasible, iters
+			}
+			continue
+		}
+		rowL := s.binv[leave]
+		inv := 1 / piv
+		for k := 0; k < p.m; k++ {
+			rowL[k] *= inv
+		}
+		for i := 0; i < p.m; i++ {
+			if i == leave || w[i] == 0 {
+				continue
+			}
+			f := w[i]
+			ri := s.binv[i]
+			for k := 0; k < p.m; k++ {
+				ri[k] -= f * rowL[k]
+			}
+		}
+
+		sinceRefactorInc := func() bool {
+			sinceRefactor++
+			return sinceRefactor >= refactor
+		}
+		if sinceRefactorInc() {
+			sinceRefactor = 0
+			if err := s.refactorize(); err != nil {
+				return lpInfeasible, iters
+			}
+		}
+	}
+	return lpIterLimit, iters
+}
+
+// refactorize recomputes B^-1 from the current basis via Gauss-Jordan with
+// partial pivoting and recomputes the basic variable values.
+func (s *simplexState) refactorize() error {
+	p := s.p
+	m := p.m
+	// Dense basis matrix.
+	bmat := make([][]float64, m)
+	for i := range bmat {
+		bmat[i] = make([]float64, 2*m) // [B | I]
+		bmat[i][m+i] = 1
+	}
+	for col, bv := range s.basis {
+		for k, row := range p.cols[bv].rows {
+			bmat[row][col] = p.cols[bv].vals[k]
+		}
+	}
+	// Gauss-Jordan.
+	for col := 0; col < m; col++ {
+		pivRow, pivVal := -1, pivotTol
+		for i := col; i < m; i++ {
+			if v := math.Abs(bmat[i][col]); v > pivVal {
+				pivRow, pivVal = i, v
+			}
+		}
+		if pivRow == -1 {
+			return fmt.Errorf("milp: singular basis")
+		}
+		bmat[col], bmat[pivRow] = bmat[pivRow], bmat[col]
+		inv := 1 / bmat[col][col]
+		for k := col; k < 2*m; k++ {
+			bmat[col][k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == col || bmat[i][col] == 0 {
+				continue
+			}
+			f := bmat[i][col]
+			for k := col; k < 2*m; k++ {
+				bmat[i][k] -= f * bmat[col][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], bmat[i][m:])
+	}
+	// Recompute basic values: x_B = B^-1 (b - N x_N).
+	rhs := make([]float64, m)
+	copy(rhs, p.b)
+	for j := 0; j < s.ncols; j++ {
+		if s.state[j] == stBasic || s.xval[j] == 0 {
+			continue
+		}
+		for k, row := range p.cols[j].rows {
+			rhs[row] -= p.cols[j].vals[k] * s.xval[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		v := 0.0
+		for k := 0; k < m; k++ {
+			v += s.binv[i][k] * rhs[k]
+		}
+		s.xval[s.basis[i]] = v
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"letdma/internal/timeutil"
+)
+
+// jsonSystem is the on-disk system description: a declarative format so
+// platforms and applications can be modeled without writing Go. Times are
+// integer microseconds.
+type jsonSystem struct {
+	Cores int        `json:"cores"`
+	Tasks []jsonTask `json:"tasks"`
+	// Labels connect tasks by name.
+	Labels []jsonLabel `json:"labels"`
+	// MemoryCapacities maps memory names ("0".."N-1" for locals, "global")
+	// to byte capacities.
+	MemoryCapacities map[string]int64 `json:"memory_capacities,omitempty"`
+}
+
+type jsonTask struct {
+	Name     string `json:"name"`
+	PeriodUs int64  `json:"period_us"`
+	WCETUs   int64  `json:"wcet_us"`
+	Core     int    `json:"core"`
+	// Priority is optional; when every task omits it, rate-monotonic
+	// priorities are assigned automatically.
+	Priority *int `json:"priority,omitempty"`
+}
+
+type jsonLabel struct {
+	Name    string   `json:"name"`
+	Size    int64    `json:"size"`
+	Writer  string   `json:"writer"`
+	Readers []string `json:"readers"`
+}
+
+// FromJSON reads a system description. The result is validated.
+func FromJSON(r io.Reader) (*System, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var js jsonSystem
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("model: parsing system description: %w", err)
+	}
+	if js.Cores < 1 {
+		return nil, fmt.Errorf("model: system description needs at least one core")
+	}
+	sys := NewSystem(js.Cores)
+	anyPriority := false
+	for _, jt := range js.Tasks {
+		t, err := sys.AddTask(jt.Name, timeutil.Microseconds(jt.PeriodUs), timeutil.Microseconds(jt.WCETUs), CoreID(jt.Core))
+		if err != nil {
+			return nil, err
+		}
+		if jt.Priority != nil {
+			t.Priority = *jt.Priority
+			anyPriority = true
+		}
+	}
+	for _, jl := range js.Labels {
+		w := sys.TaskByName(jl.Writer)
+		if w == nil {
+			return nil, fmt.Errorf("model: label %q references unknown writer %q", jl.Name, jl.Writer)
+		}
+		readers := make([]*Task, 0, len(jl.Readers))
+		for _, rn := range jl.Readers {
+			rt := sys.TaskByName(rn)
+			if rt == nil {
+				return nil, fmt.Errorf("model: label %q references unknown reader %q", jl.Name, rn)
+			}
+			readers = append(readers, rt)
+		}
+		if _, err := sys.AddLabel(jl.Name, jl.Size, w, readers...); err != nil {
+			return nil, err
+		}
+	}
+	for name, capBytes := range js.MemoryCapacities {
+		mem, err := parseMemoryName(sys, name)
+		if err != nil {
+			return nil, err
+		}
+		if capBytes < 0 {
+			return nil, fmt.Errorf("model: negative capacity for memory %q", name)
+		}
+		sys.SetMemoryCapacity(mem, capBytes)
+	}
+	if !anyPriority {
+		sys.AssignRateMonotonicPriorities()
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// ToJSON writes the system in the FromJSON format (priorities included).
+func (s *System) ToJSON(w io.Writer) error {
+	js := jsonSystem{Cores: s.NumCores}
+	for _, t := range s.Tasks {
+		p := t.Priority
+		js.Tasks = append(js.Tasks, jsonTask{
+			Name:     t.Name,
+			PeriodUs: int64(t.Period / timeutil.Microsecond),
+			WCETUs:   int64(t.WCET / timeutil.Microsecond),
+			Core:     int(t.Core),
+			Priority: &p,
+		})
+	}
+	for _, l := range s.Labels {
+		jl := jsonLabel{Name: l.Name, Size: l.Size, Writer: s.Tasks[l.Writer].Name}
+		for _, r := range l.Readers {
+			jl.Readers = append(jl.Readers, s.Tasks[r].Name)
+		}
+		js.Labels = append(js.Labels, jl)
+	}
+	for m := 0; m < s.NumMemories(); m++ {
+		if c := s.MemoryCapacity(MemoryID(m)); c > 0 {
+			if js.MemoryCapacities == nil {
+				js.MemoryCapacities = make(map[string]int64)
+			}
+			js.MemoryCapacities[memoryName(s, MemoryID(m))] = c
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+func parseMemoryName(s *System, name string) (MemoryID, error) {
+	if name == "global" {
+		return s.GlobalMemory(), nil
+	}
+	var idx int
+	if _, err := fmt.Sscanf(name, "%d", &idx); err != nil || idx < 0 || idx >= s.NumCores {
+		return 0, fmt.Errorf("model: unknown memory %q (use \"0\"..\"%d\" or \"global\")", name, s.NumCores-1)
+	}
+	return MemoryID(idx), nil
+}
+
+func memoryName(s *System, m MemoryID) string {
+	if m == s.GlobalMemory() {
+		return "global"
+	}
+	return fmt.Sprint(int(m))
+}

@@ -1,0 +1,259 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"letdma/internal/timeutil"
+)
+
+func twoCoreSystem(t *testing.T) (*System, *Task, *Task, *Task) {
+	t.Helper()
+	s := NewSystem(2)
+	p := s.MustAddTask("prod", timeutil.Milliseconds(10), timeutil.Milliseconds(2), 0)
+	c := s.MustAddTask("cons", timeutil.Milliseconds(20), timeutil.Milliseconds(4), 1)
+	l := s.MustAddTask("local", timeutil.Milliseconds(10), timeutil.Milliseconds(1), 0)
+	return s, p, c, l
+}
+
+func TestNewSystemPanicsOnZeroCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSystem(0)
+}
+
+func TestMemoryIDs(t *testing.T) {
+	s := NewSystem(3)
+	if got := s.GlobalMemory(); got != MemoryID(3) {
+		t.Errorf("GlobalMemory = %d, want 3", got)
+	}
+	if got := s.LocalMemory(1); got != MemoryID(1) {
+		t.Errorf("LocalMemory(1) = %d, want 1", got)
+	}
+	if got := s.NumMemories(); got != 4 {
+		t.Errorf("NumMemories = %d, want 4", got)
+	}
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	s := NewSystem(1)
+	cases := []struct {
+		name   string
+		period timeutil.Time
+		wcet   timeutil.Time
+		core   CoreID
+		errSub string
+	}{
+		{"", timeutil.Millisecond, 0, 0, "non-empty"},
+		{"t", 0, 0, 0, "non-positive period"},
+		{"t", timeutil.Millisecond, -1, 0, "WCET"},
+		{"t", timeutil.Millisecond, 2 * timeutil.Millisecond, 0, "WCET"},
+		{"t", timeutil.Millisecond, 0, 5, "invalid core"},
+	}
+	for _, c := range cases {
+		if _, err := s.AddTask(c.name, c.period, c.wcet, c.core); err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("AddTask(%q,...): err=%v, want containing %q", c.name, err, c.errSub)
+		}
+	}
+	if _, err := s.AddTask("ok", timeutil.Millisecond, 0, 0); err != nil {
+		t.Fatalf("valid AddTask failed: %v", err)
+	}
+	if _, err := s.AddTask("ok", timeutil.Millisecond, 0, 0); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+}
+
+func TestAddLabelValidation(t *testing.T) {
+	s, p, c, _ := twoCoreSystem(t)
+	if _, err := s.AddLabel("", 4, p, c); err == nil {
+		t.Error("expected empty-name error")
+	}
+	if _, err := s.AddLabel("l", 0, p, c); err == nil {
+		t.Error("expected size error")
+	}
+	if _, err := s.AddLabel("l", 4, nil, c); err == nil {
+		t.Error("expected nil-writer error")
+	}
+	if _, err := s.AddLabel("l", 4, p, p); err == nil {
+		t.Error("expected self-read error")
+	}
+	if _, err := s.AddLabel("l", 4, p, c, c); err == nil {
+		t.Error("expected duplicate-reader error")
+	}
+	if _, err := s.AddLabel("l", 4, p, c); err != nil {
+		t.Fatalf("valid AddLabel failed: %v", err)
+	}
+	if _, err := s.AddLabel("l", 4, p, c); err == nil {
+		t.Error("expected duplicate-label error")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s, p, c, _ := twoCoreSystem(t)
+	l := s.MustAddLabel("x", 8, p, c)
+	if s.TaskByName("prod") != p || s.TaskByName("nope") != nil {
+		t.Error("TaskByName mismatch")
+	}
+	if s.LabelByName("x") != l || s.LabelByName("nope") != nil {
+		t.Error("LabelByName mismatch")
+	}
+	if s.Task(p.ID) != p || s.Label(l.ID) != l {
+		t.Error("ID lookup mismatch")
+	}
+}
+
+func TestTasksOnCore(t *testing.T) {
+	s, p, c, loc := twoCoreSystem(t)
+	got := s.TasksOnCore(0)
+	if len(got) != 2 || got[0] != p || got[1] != loc {
+		t.Errorf("TasksOnCore(0) = %v", got)
+	}
+	if got := s.TasksOnCore(1); len(got) != 1 || got[0] != c {
+		t.Errorf("TasksOnCore(1) = %v", got)
+	}
+}
+
+func TestRateMonotonicPriorities(t *testing.T) {
+	s := NewSystem(1)
+	slow := s.MustAddTask("slow", timeutil.Milliseconds(100), 0, 0)
+	fast := s.MustAddTask("fast", timeutil.Milliseconds(5), 0, 0)
+	mid := s.MustAddTask("mid", timeutil.Milliseconds(50), 0, 0)
+	s.AssignRateMonotonicPriorities()
+	if fast.Priority != 0 || mid.Priority != 1 || slow.Priority != 2 {
+		t.Errorf("priorities fast=%d mid=%d slow=%d, want 0,1,2", fast.Priority, mid.Priority, slow.Priority)
+	}
+}
+
+func TestRateMonotonicTieBreak(t *testing.T) {
+	s := NewSystem(1)
+	a := s.MustAddTask("a", timeutil.Milliseconds(10), 0, 0)
+	b := s.MustAddTask("b", timeutil.Milliseconds(10), 0, 0)
+	s.AssignRateMonotonicPriorities()
+	if a.Priority != 0 || b.Priority != 1 {
+		t.Errorf("tie-break by ID violated: a=%d b=%d", a.Priority, b.Priority)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	s, _, _, _ := twoCoreSystem(t)
+	h, err := s.Hyperperiod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != timeutil.Milliseconds(20) {
+		t.Errorf("Hyperperiod = %v, want 20ms", h)
+	}
+	empty := NewSystem(1)
+	if _, err := empty.Hyperperiod(); err == nil {
+		t.Error("expected error for empty system")
+	}
+}
+
+func TestSharedLabels(t *testing.T) {
+	s, p, c, loc := twoCoreSystem(t)
+	inter := s.MustAddLabel("inter", 16, p, c)
+	s.MustAddLabel("intra", 8, p, loc) // same core: double buffered, not shared
+	sh := s.SharedLabels()
+	if len(sh) != 1 {
+		t.Fatalf("SharedLabels: got %d entries, want 1", len(sh))
+	}
+	if sh[0].Label != inter || sh[0].Producer != p {
+		t.Error("SharedLabels content mismatch")
+	}
+	if len(sh[0].Consumers) != 1 || sh[0].Consumers[0] != c {
+		t.Error("SharedLabels consumers mismatch")
+	}
+}
+
+func TestSharedLabelsMixedReaders(t *testing.T) {
+	s := NewSystem(3)
+	p := s.MustAddTask("p", timeutil.Milliseconds(10), 0, 0)
+	same := s.MustAddTask("same", timeutil.Milliseconds(10), 0, 0)
+	far1 := s.MustAddTask("far1", timeutil.Milliseconds(10), 0, 1)
+	far2 := s.MustAddTask("far2", timeutil.Milliseconds(10), 0, 2)
+	s.MustAddLabel("l", 4, p, same, far2, far1)
+	sh := s.SharedLabels()
+	if len(sh) != 1 {
+		t.Fatalf("got %d shared labels, want 1", len(sh))
+	}
+	cons := sh[0].Consumers
+	if len(cons) != 2 || cons[0] != far1 || cons[1] != far2 {
+		t.Errorf("consumers = %v, want [far1 far2] in ID order", cons)
+	}
+}
+
+func TestSharedBetweenAndCommunicates(t *testing.T) {
+	s, p, c, loc := twoCoreSystem(t)
+	l := s.MustAddLabel("inter", 16, p, c)
+	if got := s.SharedBetween(p, c); len(got) != 1 || got[0] != l {
+		t.Errorf("SharedBetween(p,c) = %v", got)
+	}
+	if got := s.SharedBetween(c, p); len(got) != 0 {
+		t.Errorf("SharedBetween(c,p) = %v, want empty", got)
+	}
+	if got := s.SharedBetween(p, loc); got != nil {
+		t.Errorf("same-core SharedBetween = %v, want nil", got)
+	}
+	if !s.Communicates(p, c) || !s.Communicates(c, p) {
+		t.Error("Communicates(p,c) should hold in both argument orders")
+	}
+	if s.Communicates(p, loc) {
+		t.Error("Communicates(p,loc) should be false")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s, p, c, _ := twoCoreSystem(t)
+	s.MustAddLabel("x", 8, p, c)
+	s.AssignRateMonotonicPriorities()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	// Duplicate priorities on a core must be rejected.
+	s.Tasks[0].Priority = 7
+	s.Tasks[2].Priority = 7
+	if err := s.Validate(); err == nil {
+		t.Error("expected duplicate-priority error")
+	}
+	s.AssignRateMonotonicPriorities()
+
+	// Over-utilization must be rejected.
+	s.Tasks[0].WCET = s.Tasks[0].Period
+	s.Tasks[2].WCET = s.Tasks[2].Period
+	if err := s.Validate(); err == nil {
+		t.Error("expected over-utilization error")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := NewSystem(1).Validate(); err == nil {
+		t.Error("expected error for empty system")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s, _, _, _ := twoCoreSystem(t)
+	// Core 0: 2/10 + 1/10 = 0.3
+	if got := s.Utilization(0); got < 0.299 || got > 0.301 {
+		t.Errorf("Utilization(0) = %f, want 0.3", got)
+	}
+	if got := s.Utilization(1); got < 0.199 || got > 0.201 {
+		t.Errorf("Utilization(1) = %f, want 0.2", got)
+	}
+}
+
+func TestMemoryCapacity(t *testing.T) {
+	s := NewSystem(2)
+	if s.MemoryCapacity(0) != 0 {
+		t.Error("default capacity should be 0 (unlimited)")
+	}
+	s.SetMemoryCapacity(0, 4096)
+	s.SetMemoryCapacity(s.GlobalMemory(), 1<<20)
+	if s.MemoryCapacity(0) != 4096 || s.MemoryCapacity(s.GlobalMemory()) != 1<<20 {
+		t.Error("capacity roundtrip failed")
+	}
+}

@@ -1,0 +1,231 @@
+package multidma
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"letdma/internal/combopt"
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/model"
+	"letdma/internal/timeutil"
+	"letdma/internal/waters"
+)
+
+func ms(v int64) timeutil.Time { return timeutil.Milliseconds(v) }
+
+func chainSystem(t *testing.T) (*let.Analysis, *dma.Schedule) {
+	t.Helper()
+	sys := model.NewSystem(2)
+	prod := sys.MustAddTask("prod", ms(5), timeutil.Millisecond, 0)
+	fast := sys.MustAddTask("fast", ms(10), timeutil.Millisecond, 1)
+	slow := sys.MustAddTask("slow", ms(20), timeutil.Millisecond, 1)
+	sys.MustAddLabel("lA", 64, prod, fast, slow)
+	sys.MustAddLabel("lB", 32, fast, prod)
+	sys.AssignRateMonotonicPriorities()
+	a, err := let.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := combopt.Solve(a, dma.DefaultCostModel(), nil, dma.MinDelayRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, res.Sched
+}
+
+func watersCase(t *testing.T) (*let.Analysis, *dma.Schedule) {
+	t.Helper()
+	a, err := waters.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := combopt.Solve(a, dma.DefaultCostModel(), nil, dma.MinDelayRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, res.Sched
+}
+
+// TestSingleChannelMatchesConstraint9: with one channel in schedule order,
+// the multi-channel timeline must reproduce the sequential accumulation
+// exactly, for every task and every activation instant.
+func TestSingleChannelMatchesConstraint9(t *testing.T) {
+	cm := dma.DefaultCostModel()
+	for name, build := range map[string]func(*testing.T) (*let.Analysis, *dma.Schedule){
+		"chain": chainSystem, "waters": watersCase,
+	} {
+		a, sched := build(t)
+		asg := SingleChannel(sched)
+		for _, tt := range a.Instants() {
+			for _, task := range a.Sys.Tasks {
+				got, err := Latency(a, cm, sched, asg, tt, task.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := dma.Latency(a, cm, sched, tt, task.ID, dma.PerTaskReadiness)
+				if got != want {
+					t.Fatalf("%s: lambda(%s @ %v) = %v, single-engine %v", name, task.Name, tt, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateRejectsBadAssignments(t *testing.T) {
+	a, sched := chainSystem(t)
+	cm := dma.DefaultCostModel()
+	n := len(sched.Transfers)
+	// Missing transfer.
+	if _, err := Evaluate(a, cm, sched, Assignment{Channels: [][]int{{0}}}, 0); err == nil && n > 1 {
+		t.Error("unassigned transfers accepted")
+	}
+	// Duplicated transfer.
+	if _, err := Evaluate(a, cm, sched, Assignment{Channels: [][]int{{0, 0}}}, 0); err == nil {
+		t.Error("duplicate assignment accepted")
+	}
+	// Out of range.
+	if _, err := Evaluate(a, cm, sched, Assignment{Channels: [][]int{{99}}}, 0); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestGreedyAssignImproves(t *testing.T) {
+	a, sched := watersCase(t)
+	cm := dma.DefaultCostModel()
+	single, err := MaxLatencyRatio(a, cm, sched, SingleChannel(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := single
+	for _, k := range []int{2, 4} {
+		asg, err := GreedyAssign(a, cm, sched, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MaxLatencyRatio(a, cm, sched, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-12 {
+			t.Errorf("k=%d: ratio %g worse than fewer channels %g", k, got, prev)
+		}
+		prev = got
+	}
+	if prev >= single {
+		t.Errorf("4 channels (%g) should strictly beat 1 channel (%g) on the WATERS workload", prev, single)
+	}
+}
+
+func TestGreedyAssignValidates(t *testing.T) {
+	a, sched := watersCase(t)
+	cm := dma.DefaultCostModel()
+	for _, k := range []int{1, 2, 4, 8} {
+		asg, err := GreedyAssign(a, cm, sched, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(a, cm, sched, asg); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+	if _, err := GreedyAssign(a, cm, sched, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestPrecedencesHold: in every evaluated timeline, a read transfer never
+// starts before the completion of the transfers carrying the corresponding
+// writes (Property 2) or the task's own writes (Property 1).
+func TestPrecedencesHold(t *testing.T) {
+	a, sched := watersCase(t)
+	cm := dma.DefaultCostModel()
+	pred := precedences(a, sched)
+	for _, k := range []int{2, 3, 4} {
+		asg, err := GreedyAssign(a, cm, sched, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tt := range a.Instants() {
+			tl, err := Evaluate(a, cm, sched, asg, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for g := range sched.Transfers {
+				if !tl.Present[g] {
+					continue
+				}
+				for _, p := range pred[g] {
+					if tl.Present[p] && tl.Start[g] < tl.Done[p] {
+						t.Fatalf("k=%d t=%v: transfer %d starts at %v before predecessor %d completes at %v",
+							k, tt, g, tl.Start[g], p, tl.Done[p])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeadlockDetected: a hand-built circular cross-channel assignment must
+// be rejected, not spin.
+func TestDeadlockDetected(t *testing.T) {
+	a, sched := chainSystem(t)
+	cm := dma.DefaultCostModel()
+	pred := precedences(a, sched)
+	// Find a transfer with a predecessor and build a reversal: put the
+	// dependent before its predecessor on one channel.
+	for g, ps := range pred {
+		if len(ps) == 0 {
+			continue
+		}
+		p := ps[0]
+		var rest []int
+		for i := range sched.Transfers {
+			if i != g && i != p {
+				rest = append(rest, i)
+			}
+		}
+		asg := Assignment{Channels: [][]int{{g, p}, rest}}
+		_, err := Evaluate(a, cm, sched, asg, 0)
+		if err == nil || !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("expected deadlock error, got %v", err)
+		}
+		return
+	}
+	t.Skip("no precedence pair in this schedule")
+}
+
+// TestRandomSystemsMonotone: over random systems, the max latency ratio is
+// non-increasing in the channel count and every greedy assignment
+// validates.
+func TestRandomSystemsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cm := dma.DefaultCostModel()
+	for trial := 0; trial < 25; trial++ {
+		sys := waters.Random(rng, waters.RandomOptions{})
+		a, err := let.Analyze(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := combopt.Solve(a, cm, nil, dma.MinDelayRatio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 1e18
+		for k := 1; k <= 4; k++ {
+			asg, err := GreedyAssign(a, cm, res.Sched, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MaxLatencyRatio(a, cm, res.Sched, asg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got > prev+1e-12 {
+				t.Fatalf("trial %d k=%d: ratio %g > %g with fewer channels", trial, k, got, prev)
+			}
+			prev = got
+		}
+	}
+}

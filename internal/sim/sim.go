@@ -1,0 +1,428 @@
+// Package sim is a discrete-event simulator for the LET-DMA protocol of
+// Section V and the three baseline approaches of Section VII. It exercises
+// the runtime behaviour that the MILP of Section VI only bounds analytically:
+//
+//   - at every communication instant t of T*, the induced DMA transfers are
+//     played out sequentially: o_DP of CPU time on the core whose LET task
+//     programs the transfer, the data copy on the DMA, then o_ISR of CPU
+//     time for the completion interrupt;
+//   - tasks become ready per rule R1/R3 (proposed protocol) or after the
+//     whole sequence (Giotto variants); Giotto-CPU performs the copies on
+//     the CPUs instead of the DMA;
+//   - each core runs its ready jobs under preemptive fixed-priority
+//     scheduling, with the DMA programming and ISR segments preempting at
+//     the highest priority.
+//
+// The simulator reports per-task data-acquisition latencies (per release
+// and worst-case), response times, deadline misses, and Property-3
+// violations (transfer sequences spilling past the next communication
+// instant). On contention-free instants the simulated latency equals
+// dma.Latency exactly, which the tests assert.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/model"
+	"letdma/internal/timeutil"
+	"letdma/internal/trace"
+)
+
+// Protocol selects the communication approach to simulate.
+type Protocol int
+
+const (
+	// Proposed is the paper's protocol: optimized transfer schedule with
+	// per-task readiness (rules R1-R3).
+	Proposed Protocol = iota
+	// GiottoCPU performs one CPU copy per communication in the Giotto
+	// order; tasks become ready after the full sequence.
+	GiottoCPU
+	// GiottoDMAA uses one DMA transfer per communication in the Giotto
+	// order (no layout knowledge); readiness after the full sequence.
+	GiottoDMAA
+	// GiottoDMAB uses the optimized grouping/layout but the Giotto order
+	// and readiness rule.
+	GiottoDMAB
+)
+
+// String names the protocol with the paper's labels.
+func (p Protocol) String() string {
+	switch p {
+	case Proposed:
+		return "Proposed"
+	case GiottoCPU:
+		return "Giotto-CPU"
+	case GiottoDMAA:
+		return "Giotto-DMA-A"
+	default:
+		return "Giotto-DMA-B"
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Analysis *let.Analysis
+	// Cost is the DMA cost model (o_DP, o_ISR, omega_c).
+	Cost dma.CostModel
+	// CPUCost is the copy cost model for GiottoCPU (defaults to
+	// dma.CPUCopyCostModel).
+	CPUCost dma.CostModel
+	// Sched is the optimized transfer schedule; required for Proposed and
+	// GiottoDMAB, ignored by the per-comm protocols.
+	Sched    *dma.Schedule
+	Protocol Protocol
+	// Hyperperiods to simulate (default 1; the pattern repeats).
+	Hyperperiods int
+	// Trace, when non-nil, receives execution slices (task jobs, DMA
+	// copies, programming/ISR overheads) and readiness markers.
+	Trace *trace.Trace
+}
+
+// TaskStats aggregates per-task results.
+type TaskStats struct {
+	Name         string
+	Jobs         int
+	MaxLatency   timeutil.Time // worst ready - release
+	TotalLatency timeutil.Time // sum over jobs, for averages
+	MaxResponse  timeutil.Time // worst finish - release
+	Misses       int           // jobs finishing after release + period
+}
+
+// AvgLatency returns the mean data-acquisition latency over all jobs.
+func (s *TaskStats) AvgLatency() timeutil.Time {
+	if s.Jobs == 0 {
+		return 0
+	}
+	return s.TotalLatency / timeutil.Time(s.Jobs)
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Stats map[model.TaskID]*TaskStats
+	// LatencyAt[id][t] is the data-acquisition latency of the job of task
+	// id released at absolute time t.
+	LatencyAt map[model.TaskID]map[timeutil.Time]timeutil.Time
+	// Property3Violations counts communication sequences that spilled past
+	// the next communication instant.
+	Property3Violations int
+}
+
+// overhead is a slice of CPU time consumed at the highest priority.
+type overhead struct {
+	core  model.CoreID
+	start timeutil.Time
+	dur   timeutil.Time
+}
+
+// Run simulates the configured protocol and returns per-task statistics.
+func Run(cfg Config) (*Result, error) {
+	a := cfg.Analysis
+	if a == nil {
+		return nil, fmt.Errorf("sim: missing analysis")
+	}
+	if cfg.Hyperperiods <= 0 {
+		cfg.Hyperperiods = 1
+	}
+	if cfg.CPUCost.CopyNsDen == 0 {
+		cfg.CPUCost = dma.CPUCopyCostModel()
+	}
+	sched, cost, perTask, err := effectiveSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	horizon := a.H * timeutil.Time(cfg.Hyperperiods)
+	readyAt, overheads, p3viol := commTimeline(a, cost, sched, perTask, horizon, cfg.Protocol == GiottoCPU, cfg.Trace)
+
+	res := &Result{
+		Stats:               make(map[model.TaskID]*TaskStats),
+		LatencyAt:           make(map[model.TaskID]map[timeutil.Time]timeutil.Time),
+		Property3Violations: p3viol,
+	}
+	for _, task := range a.Sys.Tasks {
+		res.Stats[task.ID] = &TaskStats{Name: task.Name}
+		res.LatencyAt[task.ID] = make(map[timeutil.Time]timeutil.Time)
+	}
+
+	// Per-core job lists.
+	type coreJobs struct{ jobs []*job }
+	cores := make([]coreJobs, a.Sys.NumCores)
+	for _, task := range a.Sys.Tasks {
+		for rel := timeutil.Time(0); rel < horizon; rel += task.Period {
+			ready := rel
+			if r, ok := readyAt[taskInstant{task.ID, rel}]; ok {
+				ready = r
+			}
+			lat := ready - rel
+			st := res.Stats[task.ID]
+			st.Jobs++
+			st.TotalLatency += lat
+			if lat > st.MaxLatency {
+				st.MaxLatency = lat
+			}
+			res.LatencyAt[task.ID][rel] = lat
+			cores[task.Core].jobs = append(cores[task.Core].jobs, &job{
+				task: task.ID, prio: task.Priority, ready: ready,
+				rem: task.WCET, release: rel, deadline: rel + task.Period,
+			})
+		}
+	}
+	for _, ov := range overheads {
+		cores[ov.core].jobs = append(cores[ov.core].jobs, &job{
+			task: -1, prio: -1, ready: ov.start, rem: ov.dur,
+		})
+	}
+
+	for c := range cores {
+		finishes, segs := simulateCore(cores[c].jobs)
+		if cfg.Trace != nil {
+			track := fmt.Sprintf("core%d", c)
+			for _, sg := range segs {
+				if sg.j.task < 0 {
+					continue // overheads already traced by commTimeline
+				}
+				cfg.Trace.Span(track, a.Sys.Task(sg.j.task).Name, trace.CatJob, sg.start, sg.end-sg.start)
+			}
+		}
+		for j, fin := range finishes {
+			if j.task < 0 {
+				continue
+			}
+			st := res.Stats[j.task]
+			resp := fin - j.release
+			if resp > st.MaxResponse {
+				st.MaxResponse = resp
+			}
+			if fin > j.deadline {
+				st.Misses++
+			}
+		}
+	}
+	return res, nil
+}
+
+// effectiveSchedule resolves the transfer schedule, cost model and
+// readiness rule for the protocol.
+func effectiveSchedule(cfg Config) (*dma.Schedule, dma.CostModel, bool, error) {
+	a := cfg.Analysis
+	switch cfg.Protocol {
+	case Proposed:
+		if cfg.Sched == nil {
+			return nil, dma.CostModel{}, false, fmt.Errorf("sim: Proposed protocol requires a schedule")
+		}
+		return cfg.Sched, cfg.Cost, true, nil
+	case GiottoDMAA:
+		return dma.GiottoPerCommSchedule(a), cfg.Cost, false, nil
+	case GiottoDMAB:
+		if cfg.Sched == nil {
+			return nil, dma.CostModel{}, false, fmt.Errorf("sim: Giotto-DMA-B requires a schedule")
+		}
+		return dma.GiottoReorder(a, cfg.Sched), cfg.Cost, false, nil
+	case GiottoCPU:
+		return dma.GiottoPerCommSchedule(a), cfg.CPUCost, false, nil
+	default:
+		return nil, dma.CostModel{}, false, fmt.Errorf("sim: unknown protocol %d", cfg.Protocol)
+	}
+}
+
+// taskInstant keys the readiness map.
+type taskInstant struct {
+	task model.TaskID
+	rel  timeutil.Time
+}
+
+// commTimeline plays the transfer sequences of every communication instant
+// in [0, horizon) and returns task readiness times, CPU overhead slices and
+// the number of Property-3 violations. When cpuCopies is true the copy time
+// itself is also charged to the local core (Giotto-CPU).
+func commTimeline(a *let.Analysis, cost dma.CostModel, sched *dma.Schedule, perTaskReady bool, horizon timeutil.Time, cpuCopies bool, tr *trace.Trace) (map[taskInstant]timeutil.Time, []overhead, int) {
+	readyAt := make(map[taskInstant]timeutil.Time)
+	var ovs []overhead
+	viol := 0
+
+	instants := a.Instants()
+	dmaFree := timeutil.Time(0) // when the engine finished the previous burst
+	for hp := timeutil.Time(0); hp < horizon; hp += a.H {
+		for idx, t0 := range instants {
+			t := hp + t0
+			if t >= horizon {
+				break
+			}
+			induced, _ := sched.InducedAt(a, t0)
+			if len(induced) == 0 {
+				continue
+			}
+			s := t
+			if dmaFree > s {
+				s = dmaFree // previous burst spilled over (Property 3 broken)
+			}
+			commDone := make(map[int]timeutil.Time, a.NumComms())
+			for gi, tx := range induced {
+				core := model.CoreID(a.LocalMemory(tx.Comms[0]))
+				prog := cost.ProgramOverhead
+				copyT := cost.CopyCost(dma.TransferSize(a, tx))
+				isr := cost.ISROverhead
+				coreTrack := fmt.Sprintf("core%d", core)
+				name := fmt.Sprintf("d%d@%v", gi+1, t0)
+				if cpuCopies {
+					// The CPU performs the copy itself: one overhead slice
+					// covering setup + copy; no ISR.
+					ovs = append(ovs, overhead{core: core, start: s, dur: prog + copyT})
+					if tr != nil {
+						tr.Span(coreTrack, "copy "+name, trace.CatOverhead, s, prog+copyT)
+					}
+					s += prog + copyT + isr
+				} else {
+					ovs = append(ovs, overhead{core: core, start: s, dur: prog})
+					if tr != nil {
+						tr.Span(coreTrack, "program "+name, trace.CatOverhead, s, prog)
+						tr.Span("dma", name, trace.CatCopy, s+prog, copyT)
+					}
+					s += prog + copyT
+					ovs = append(ovs, overhead{core: core, start: s, dur: isr})
+					if tr != nil {
+						tr.Span(coreTrack, "isr "+name, trace.CatOverhead, s, isr)
+					}
+					s += isr
+				}
+				for _, z := range tx.Comms {
+					commDone[z] = s
+				}
+			}
+			end := s
+			dmaFree = end
+			// Property 3 bookkeeping.
+			var next timeutil.Time
+			if idx+1 < len(instants) {
+				next = hp + instants[idx+1]
+			} else {
+				next = hp + a.H
+			}
+			if end > next {
+				viol++
+			}
+			// Readiness.
+			for _, task := range a.Sys.Tasks {
+				if int64(t0)%int64(task.Period) != 0 {
+					continue // not released at this instant
+				}
+				key := taskInstant{task.ID, t}
+				if perTaskReady {
+					ws, rs := a.GroupsFor(t0, task.ID)
+					last := t
+					for _, z := range append(append([]int(nil), ws...), rs...) {
+						if d, ok := commDone[z]; ok && d > last {
+							last = d
+						}
+					}
+					readyAt[key] = last
+				} else {
+					readyAt[key] = end
+				}
+				if tr != nil && readyAt[key] > t {
+					tr.Mark(fmt.Sprintf("core%d", task.Core), task.Name+" ready", trace.CatReady, readyAt[key])
+				}
+			}
+		}
+	}
+	return readyAt, ovs, viol
+}
+
+// job is a schedulable entity on one core; task == -1 marks an overhead
+// slice running at the highest priority.
+type job struct {
+	task     model.TaskID
+	prio     int
+	ready    timeutil.Time
+	rem      timeutil.Time
+	release  timeutil.Time
+	deadline timeutil.Time
+	seq      int
+}
+
+// jobHeap orders by priority, then readiness, then sequence.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)     { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any       { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h jobHeap) Peek() *job      { return h[0] }
+func (h *jobHeap) PushJob(j *job) { heap.Push(h, j) }
+func (h *jobHeap) PopJob() *job   { return heap.Pop(h).(*job) }
+
+// segment is one contiguous execution slice of a job on its core.
+type segment struct {
+	j          *job
+	start, end timeutil.Time
+}
+
+// simulateCore runs preemptive fixed-priority scheduling over the given
+// jobs and returns each job's finish time plus the execution segments.
+func simulateCore(jobs []*job) (map[*job]timeutil.Time, []segment) {
+	finishes := make(map[*job]timeutil.Time, len(jobs))
+	var segs []segment
+	arrivals := append([]*job(nil), jobs...)
+	for i, j := range arrivals {
+		j.seq = i
+	}
+	sort.SliceStable(arrivals, func(i, k int) bool { return arrivals[i].ready < arrivals[k].ready })
+
+	var ready jobHeap
+	now := timeutil.Time(0)
+	i := 0
+	for i < len(arrivals) || ready.Len() > 0 {
+		if ready.Len() == 0 {
+			if now < arrivals[i].ready {
+				now = arrivals[i].ready
+			}
+		}
+		for i < len(arrivals) && arrivals[i].ready <= now {
+			ready.PushJob(arrivals[i])
+			i++
+		}
+		if ready.Len() == 0 {
+			continue
+		}
+		j := ready.PopJob()
+		if j.rem == 0 {
+			finishes[j] = now
+			continue
+		}
+		// Run until completion or the next arrival, whichever is first.
+		var until timeutil.Time
+		if i < len(arrivals) {
+			until = arrivals[i].ready
+		} else {
+			until = now + j.rem
+		}
+		if now+j.rem <= until {
+			segs = append(segs, segment{j: j, start: now, end: now + j.rem})
+			now += j.rem
+			j.rem = 0
+			finishes[j] = now
+		} else {
+			if until > now {
+				segs = append(segs, segment{j: j, start: now, end: until})
+			}
+			j.rem -= until - now
+			now = until
+			ready.PushJob(j)
+		}
+	}
+	return finishes, segs
+}

@@ -1,0 +1,195 @@
+package timeutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{0, 7, 7},
+		{7, 0, 7},
+		{12, 18, 6},
+		{18, 12, 6},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{1, 1, 1},
+		{17, 13, 1},
+		{100, 100, 100},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{4, 6, 12},
+		{5, 10, 10},
+		{33, 66, 66},
+		{5, 33, 165},
+		{-4, 6, 12},
+	}
+	for _, c := range cases {
+		got, err := LCM(c.a, c.b)
+		if err != nil {
+			t.Fatalf("LCM(%d, %d): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("LCM(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCMOverflow(t *testing.T) {
+	if _, err := LCM(math.MaxInt64-1, math.MaxInt64-2); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestLCMAll(t *testing.T) {
+	got, err := LCMAll(5, 10, 15, 33, 66, 200, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WATERS 2019 period set in ms: hyperperiod is 13200 ms.
+	if got != 13200 {
+		t.Errorf("LCMAll = %d, want 13200", got)
+	}
+	if got, _ := LCMAll(); got != 0 {
+		t.Errorf("LCMAll() = %d, want 0", got)
+	}
+	if got, _ := LCMAll(7); got != 7 {
+		t.Errorf("LCMAll(7) = %d, want 7", got)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	h, err := Hyperperiod(Milliseconds(5), Milliseconds(10), Milliseconds(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != Milliseconds(30) {
+		t.Errorf("Hyperperiod = %v, want 30ms", h)
+	}
+	if _, err := Hyperperiod(); err == nil {
+		t.Error("expected error for empty period list")
+	}
+	if _, err := Hyperperiod(Milliseconds(5), 0); err == nil {
+		t.Error("expected error for zero period")
+	}
+	if _, err := Hyperperiod(-Millisecond); err == nil {
+		t.Error("expected error for negative period")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0"},
+		{Second, "1s"},
+		{Milliseconds(5), "5ms"},
+		{Microseconds(42), "42us"},
+		{Time(7), "7ns"},
+		{Microseconds(3360) / 1000, "3360ns"}, // o_DP = 3.36us
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestCeilFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, ceil, floor int64 }{
+		{0, 3, 0, 0},
+		{1, 3, 1, 0},
+		{3, 3, 1, 1},
+		{4, 3, 2, 1},
+		{-1, 3, 0, -1},
+		{-3, 3, -1, -1},
+		{-4, 3, -1, -2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+		if got := FloorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("FloorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+	}
+}
+
+func TestDivPanicsOnNonPositiveDivisor(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("CeilDiv", func() { CeilDiv(1, 0) })
+	mustPanic("FloorDiv", func() { FloorDiv(1, -2) })
+}
+
+// Property: GCD divides both arguments and LCM is a common multiple with
+// LCM*GCD == |a*b| for small inputs.
+func TestGCDLCMProperties(t *testing.T) {
+	prop := func(a16, b16 int16) bool {
+		a, b := int64(a16), int64(b16)
+		g := GCD(a, b)
+		if a == 0 && b == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		if a%g != 0 || b%g != 0 {
+			return false
+		}
+		l, err := LCM(a, b)
+		if err != nil {
+			return false
+		}
+		if a != 0 && b != 0 {
+			if l%a != 0 || l%b != 0 {
+				return false
+			}
+			if g*l != abs64(a*b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CeilDiv and FloorDiv bracket exact division.
+func TestDivProperties(t *testing.T) {
+	prop := func(a int32, b16 int16) bool {
+		b := int64(b16)
+		if b <= 0 {
+			b = -b + 1
+		}
+		av := int64(a)
+		c, f := CeilDiv(av, b), FloorDiv(av, b)
+		if c < f || c-f > 1 {
+			return false
+		}
+		return f*b <= av && av <= c*b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace records execution timelines (task execution slices, DMA
+// copies, programming/ISR overheads, readiness instants) produced by the
+// simulator, and renders them either as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto) or as an ASCII timeline for terminals and
+// documentation.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"letdma/internal/timeutil"
+)
+
+// Category classifies an event for coloring and filtering.
+type Category string
+
+// Categories used by the simulator.
+const (
+	CatJob      Category = "job"      // task execution slice on a core
+	CatOverhead Category = "overhead" // DMA programming or completion ISR
+	CatCopy     Category = "copy"     // DMA data movement
+	CatReady    Category = "ready"    // instant marker: task became ready
+)
+
+// Event is one timeline entry. Instant events have Dur == 0.
+type Event struct {
+	Name  string
+	Cat   Category
+	Track string // e.g. "core0", "dma"
+	Start timeutil.Time
+	Dur   timeutil.Time
+}
+
+// Trace is an append-only event collection.
+type Trace struct {
+	Events []Event
+}
+
+// Add appends an event.
+func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+
+// Span appends a duration event.
+func (t *Trace) Span(track, name string, cat Category, start, dur timeutil.Time) {
+	t.Add(Event{Name: name, Cat: cat, Track: track, Start: start, Dur: dur})
+}
+
+// Mark appends an instant event.
+func (t *Trace) Mark(track, name string, cat Category, at timeutil.Time) {
+	t.Add(Event{Name: name, Cat: cat, Track: track, Start: at})
+}
+
+// Tracks returns the distinct track names in first-use order.
+func (t *Trace) Tracks() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range t.Events {
+		if !seen[e.Track] {
+			seen[e.Track] = true
+			out = append(out, e.Track)
+		}
+	}
+	return out
+}
+
+// chromeEvent is the trace-event JSON wire format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome emits the trace in Chrome trace-event JSON array format.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	tids := make(map[string]int)
+	for i, track := range t.Tracks() {
+		tids[track] = i + 1
+	}
+	out := make([]chromeEvent, 0, len(t.Events)+len(tids))
+	// Thread-name metadata so tracks show their names (deterministic order).
+	for _, track := range t.Tracks() {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[track],
+			Args: map[string]string{"name": track},
+		})
+	}
+	for _, e := range t.Events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  string(e.Cat),
+			Ts:   e.Start.Float64Us(),
+			Pid:  1,
+			Tid:  tids[e.Track],
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = e.Dur.Float64Us()
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// RenderASCII draws the window [from, to) as one line per track, width
+// characters wide. Span events paint their cells with the first rune of
+// their category (j/o/c); instants paint '!'; overlaps prefer overheads
+// over jobs so preemptions are visible.
+func (t *Trace) RenderASCII(w io.Writer, from, to timeutil.Time, width int) error {
+	if to <= from || width <= 0 {
+		return fmt.Errorf("trace: invalid window [%v, %v) x %d", from, to, width)
+	}
+	span := to - from
+	cell := func(ts timeutil.Time) int {
+		return int(int64(ts-from) * int64(width) / int64(span))
+	}
+	prio := map[Category]int{CatJob: 1, CatCopy: 2, CatOverhead: 3, CatReady: 4}
+	glyph := map[Category]byte{CatJob: '#', CatCopy: '=', CatOverhead: 'o', CatReady: '!'}
+
+	tracks := t.Tracks()
+	sort.Strings(tracks)
+	lines := make(map[string][]byte, len(tracks))
+	level := make(map[string][]int, len(tracks))
+	for _, tr := range tracks {
+		lines[tr] = []byte(strings.Repeat(".", width))
+		level[tr] = make([]int, width)
+	}
+	for _, e := range t.Events {
+		if e.Start >= to || e.Start+e.Dur < from {
+			continue
+		}
+		a := cell(maxT(e.Start, from))
+		b := cell(minT(e.Start+e.Dur, to-1)) + 1
+		if b <= a {
+			b = a + 1
+		}
+		if b > width {
+			b = width
+		}
+		for i := a; i < b; i++ {
+			if prio[e.Cat] > level[e.Track][i] {
+				level[e.Track][i] = prio[e.Cat]
+				lines[e.Track][i] = glyph[e.Cat]
+			}
+		}
+	}
+	fmt.Fprintf(w, "window [%v, %v)  legend: #=job ==copy o=overhead !=ready\n", from, to)
+	for _, tr := range tracks {
+		if _, err := fmt.Fprintf(w, "%-8s %s\n", tr, lines[tr]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxT(a, b timeutil.Time) timeutil.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b timeutil.Time) timeutil.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"letdma/internal/timeutil"
+)
+
+func us(v int64) timeutil.Time { return timeutil.Microseconds(v) }
+
+func sample() *Trace {
+	tr := &Trace{}
+	tr.Span("core0", "taskA", CatJob, 0, us(100))
+	tr.Span("core0", "isr d1", CatOverhead, us(40), us(10))
+	tr.Span("dma", "d1", CatCopy, us(10), us(30))
+	tr.Mark("core1", "taskB ready", CatReady, us(50))
+	tr.Span("core1", "taskB", CatJob, us(50), us(25))
+	return tr
+}
+
+func TestTracks(t *testing.T) {
+	tr := sample()
+	got := tr.Tracks()
+	want := []string{"core0", "dma", "core1"}
+	if len(got) != len(want) {
+		t.Fatalf("Tracks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Tracks[%d] = %s, want %s (first-use order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	// 3 thread_name metadata + 5 events.
+	if len(events) != 8 {
+		t.Fatalf("got %d events, want 8", len(events))
+	}
+	var metas, spans, instants int
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			metas++
+			if e["name"] != "thread_name" {
+				t.Errorf("metadata name = %v", e["name"])
+			}
+		case "X":
+			spans++
+			if e["dur"].(float64) <= 0 {
+				t.Error("span without duration")
+			}
+		case "i":
+			instants++
+		}
+	}
+	if metas != 3 || spans != 4 || instants != 1 {
+		t.Errorf("metas=%d spans=%d instants=%d", metas, spans, instants)
+	}
+}
+
+func TestWriteChromeTimesInMicroseconds(t *testing.T) {
+	tr := &Trace{}
+	tr.Span("x", "e", CatJob, timeutil.Milliseconds(2), us(500))
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e["ph"] == "X" {
+			if e["ts"].(float64) != 2000 || e["dur"].(float64) != 500 {
+				t.Errorf("ts=%v dur=%v, want 2000/500 us", e["ts"], e["dur"])
+			}
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.RenderASCII(&buf, 0, us(100), 50); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 tracks
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "legend") {
+		t.Error("missing legend")
+	}
+	// Tracks render in sorted order: core0, core1, dma.
+	// core0 contains job (#) and overhead (o) cells, overhead wins overlap.
+	core0 := lines[1]
+	if !strings.Contains(core0, "#") || !strings.Contains(core0, "o") {
+		t.Errorf("core0 line missing glyphs: %q", core0)
+	}
+	// core1 has a ready marker.
+	if !strings.Contains(lines[2], "!") {
+		t.Errorf("core1 line missing ready glyph: %q", lines[2])
+	}
+	// dma line has copy glyphs.
+	if !strings.Contains(lines[3], "=") {
+		t.Errorf("dma line missing copy glyph: %q", lines[3])
+	}
+}
+
+func TestRenderASCIIWindowErrors(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.RenderASCII(&buf, us(10), us(10), 50); err == nil {
+		t.Error("empty window accepted")
+	}
+	if err := tr.RenderASCII(&buf, 0, us(10), 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestRenderASCIIClipsToWindow(t *testing.T) {
+	tr := &Trace{}
+	tr.Span("c", "before", CatJob, 0, us(10))
+	tr.Span("c", "inside", CatJob, us(60), us(10))
+	tr.Span("c", "after", CatJob, us(500), us(10))
+	var buf bytes.Buffer
+	if err := tr.RenderASCII(&buf, us(50), us(100), 50); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.Split(strings.TrimSpace(buf.String()), "\n")[1]
+	// Only the "inside" span paints; it covers cells [10, 20).
+	if strings.Count(line, "#") == 0 {
+		t.Errorf("inside span not painted: %q", line)
+	}
+	if strings.HasSuffix(line, "#") {
+		t.Errorf("after-window span painted: %q", line)
+	}
+}
