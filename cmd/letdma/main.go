@@ -194,8 +194,7 @@ func cmdFig2(args []string) error {
 	if *csvOut {
 		return experiments.WriteFig2CSV(os.Stdout, res)
 	}
-	experiments.RenderFig2(os.Stdout, res)
-	return nil
+	return experiments.RenderFig2(os.Stdout, res)
 }
 
 func cmdTable1(args []string) error {
@@ -219,8 +218,7 @@ func cmdTable1(args []string) error {
 	if *csvOut {
 		return experiments.WriteTableICSV(os.Stdout, rows)
 	}
-	experiments.RenderTableI(os.Stdout, rows, alphas)
-	return nil
+	return experiments.RenderTableI(os.Stdout, rows, alphas)
 }
 
 func cmdSensitivity(args []string) error {
@@ -236,8 +234,7 @@ func cmdSensitivity(args []string) error {
 		return err
 	}
 	rows := experiments.Sensitivity(a, []float64{0.1, 0.2, 0.3, 0.4, 0.5}, cfg)
-	experiments.RenderSensitivity(os.Stdout, rows)
-	return nil
+	return experiments.RenderSensitivity(os.Stdout, rows)
 }
 
 func cmdSchedule(args []string) error {
@@ -387,7 +384,7 @@ func cmdSimulate(args []string) error {
 	}
 	if *gantt > 0 {
 		fmt.Println()
-		if err := tr.RenderASCII(os.Stdout, 0, timeutil.Time(*gantt), 100); err != nil {
+		if err := tr.RenderASCII(os.Stdout, 0, timeutil.FromDuration(*gantt), 100); err != nil {
 			return err
 		}
 	}
@@ -512,8 +509,7 @@ func cmdCampaign(args []string) error {
 		return experiments.WriteCampaignCSV(os.Stdout, rows)
 	}
 	fmt.Printf("Acceptance ratios over %d random systems per alpha (seed %d):\n\n", *systems, *seed)
-	experiments.RenderCampaign(os.Stdout, rows)
-	return nil
+	return experiments.RenderCampaign(os.Stdout, rows)
 }
 
 func cmdExport(args []string) error {

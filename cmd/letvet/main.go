@@ -1,0 +1,61 @@
+// Command letvet runs the letvet static-analysis suite (internal/analysis)
+// over the module: determinism of MILP construction (detrange), exact-time
+// discipline (ticktime), float-comparison hygiene (floateq), seeded
+// randomness (globalrand) and error handling in the user-facing layers
+// (errdrop).
+//
+// Usage:
+//
+//	go run ./cmd/letvet ./...          # analyze the whole module
+//	go run ./cmd/letvet ./internal/... # analyze a subtree
+//	go run ./cmd/letvet -list          # print the analyzers
+//
+// letvet exits 1 when it reports findings, so it can gate CI. Waivers:
+// a `//letvet:ordered` (detrange) or `//letvet:floateq` (floateq) comment
+// on the flagged line or the line above it suppresses the finding; use
+// them only with a justification in the surrounding code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"letdma/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: letvet [-list] [package patterns, default ./...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "letvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.Suite, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "letvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "letvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

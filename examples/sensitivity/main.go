@@ -38,7 +38,9 @@ func main() {
 
 	alphas := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
 	rows := experiments.Sensitivity(a, alphas, experiments.Config{})
-	experiments.RenderSensitivity(os.Stdout, rows)
+	if err := experiments.RenderSensitivity(os.Stdout, rows); err != nil {
+		log.Fatal(err)
+	}
 
 	// Per-task latencies for the feasible alphas (OBJ-DEL), showing that
 	// the profiles barely change with alpha — the Section VII observation.

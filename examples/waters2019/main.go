@@ -33,7 +33,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			experiments.RenderFig2(os.Stdout, res)
+			if err := experiments.RenderFig2(os.Stdout, res); err != nil {
+				log.Fatal(err)
+			}
 			fmt.Println()
 		}
 	}

@@ -1,0 +1,123 @@
+// Package analysistest runs a letvet analyzer against a fixture directory
+// and checks its diagnostics against `// want "regexp"` comments, in the
+// manner of golang.org/x/tools/go/analysis/analysistest.
+//
+// A want comment sits on the line the diagnostic is expected at; several
+// want clauses on one line expect several diagnostics on that line. The
+// quoted pattern is a regular expression matched against the diagnostic
+// message. Lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"letdma/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads dir as one package, applies the analyzer (ignoring its package
+// scope), and reports mismatches between produced diagnostics and want
+// comments on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, true)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, pat := range splitQuoted(t, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", tf.Name(), line, pat, err)
+					}
+					wants = append(wants, &expectation{file: tf.Name(), line: line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !matchWant(wants, d.Pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// splitQuoted extracts the double-quoted strings of a want clause, e.g.
+// `"a" "b"` -> [a b], honoring Go quoting.
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			break
+		}
+		rest := s[i:]
+		// Find the end of this Go string literal.
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				end++
+				break
+			}
+			end++
+		}
+		q, err := strconv.Unquote(rest[:end])
+		if err != nil {
+			t.Fatalf("bad want clause %q: %v", s, err)
+		}
+		out = append(out, q)
+		s = rest[end:]
+	}
+	if len(out) == 0 {
+		t.Fatalf("want clause %q has no quoted pattern", s)
+	}
+	return out
+}

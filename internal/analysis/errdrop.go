@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errdrop flags statement-position calls that silently discard an error
+// result in the user-facing layers (cmd/, examples/, experiments): a
+// dropped error there turns a failed export or render into quietly
+// truncated output. Explicit discards (`_ = f()`) stay visible in review
+// and are allowed, as are:
+//
+//   - the fmt.Print family and fmt.Fprint* to os.Stdout/os.Stderr —
+//     best-effort terminal output, the universal Go idiom; and
+//   - writes to strings.Builder / bytes.Buffer, which are documented to
+//     never fail.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error returns in cmd/, examples/ and experiments",
+	Scope: func(path string) bool {
+		return strings.Contains(path, "/cmd/") || strings.Contains(path, "/examples/") ||
+			strings.HasSuffix(path, "internal/experiments")
+	},
+	Run: runErrdrop,
+}
+
+func runErrdrop(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		st, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !lastResultIsError(pass.TypesInfo, call) {
+			return true
+		}
+		if errdropExempt(pass, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call discards its error result; handle it or assign to _ explicitly")
+		return true
+	})
+	return nil
+}
+
+// lastResultIsError reports whether the call's final result is type error.
+func lastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.IsType() {
+		return false
+	}
+	var last types.Type
+	switch rt := tv.Type.(type) {
+	case *types.Tuple:
+		if rt.Len() == 0 {
+			return false
+		}
+		last = rt.At(rt.Len() - 1).Type()
+	default:
+		last = rt
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func errdropExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print family; fmt.Fprint* to the process's own stdio.
+	if pkg := selectorPkg(pass.TypesInfo, sel); pkg != nil && pkg.Path() == "fmt" {
+		name := sel.Sel.Name
+		if strings.HasPrefix(name, "Print") {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			if s, ok := call.Args[0].(*ast.SelectorExpr); ok {
+				if p := selectorPkg(pass.TypesInfo, s); p != nil && p.Path() == "os" &&
+					(s.Sel.Name == "Stdout" || s.Sel.Name == "Stderr") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Builder/Buffer writes never fail.
+	recv := pass.TypesInfo.Types[sel.X].Type
+	return namedAs(recv, "strings", "Builder") || namedAs(recv, "bytes", "Buffer")
+}

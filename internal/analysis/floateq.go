@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// floateqHelpers are the designated comparison helpers: small, named,
+// documented predicates that are allowed to compare floats exactly. All
+// other code must go through them (or a tolerance check) instead of a raw
+// ==/!=, so every exact comparison in the numeric kernels states its
+// intent.
+var floateqHelpers = map[string]bool{
+	"feq":        true,
+	"approxeq":   true,
+	"eqtol":      true,
+	"isintegral": true,
+	"isfixed":    true,
+	"exacteq":    true,
+	"samefloat":  true,
+}
+
+// Floateq flags ==/!= between floating-point operands in the numeric
+// kernels (milp, letopt, rta) outside the designated helpers. Comparisons
+// where one side is a compile-time constant stay allowed: `x == 0` or
+// `gap != 1` test an exactly-stored sentinel, not the result of rounded
+// arithmetic, and are the standard idiom inside a simplex kernel.
+var Floateq = &Analyzer{
+	Name:  "floateq",
+	Doc:   "flags float ==/!= outside designated exact-comparison helpers",
+	Scope: scopeInternal("milp", "letopt", "rta"),
+	Run:   runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+		if !isFloat(xt.Type) || !isFloat(yt.Type) {
+			return true
+		}
+		if xt.Value != nil || yt.Value != nil {
+			return true // constant sentinel compare: exact by construction
+		}
+		if floateqHelpers[strings.ToLower(enclosingFuncName(pass.Files, be.Pos()))] {
+			return true
+		}
+		if pass.waiverFor(be, "floateq") {
+			return true
+		}
+		pass.Reportf(be.OpPos, "%s between floating-point operands: compare through a named helper (isIntegral, isFixed, approxEq, ...) that documents the intent", be.Op)
+		return true
+	})
+	return nil
+}

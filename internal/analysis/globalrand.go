@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand top-level functions backed by the
+// auto-seeded global source. Constructors (New, NewSource, NewZipf, ...)
+// are fine — they are exactly how the injected generator is built.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+// Globalrand flags calls to the auto-seeded global math/rand functions in
+// non-test code. Synthetic-workload generators and solvers must take an
+// injected, explicitly seeded *rand.Rand so that every campaign is
+// reproducible run-to-run (CampaignConfig.Seed is part of the experiment's
+// identity).
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids the auto-seeded global math/rand functions in non-test code",
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := selectorPkg(pass.TypesInfo, sel)
+		if pkg == nil {
+			return true
+		}
+		if p := pkg.Path(); p != "math/rand" && p != "math/rand/v2" {
+			return true
+		}
+		if !globalRandFuncs[sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "global %s.%s uses the shared auto-seeded source: inject a seeded *rand.Rand instead", pkg.Name(), sel.Sel.Name)
+		return true
+	})
+	return nil
+}

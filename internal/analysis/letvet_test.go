@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"letdma/internal/analysis"
+	"letdma/internal/analysis/analysistest"
+)
+
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestDetrangeFixture(t *testing.T) {
+	analysistest.Run(t, fixture(t, "detrange"), analysis.Detrange)
+}
+
+func TestTicktimeFixture(t *testing.T) {
+	analysistest.Run(t, fixture(t, "ticktime"), analysis.Ticktime)
+}
+
+func TestFloateqFixture(t *testing.T) {
+	analysistest.Run(t, fixture(t, "floateq"), analysis.Floateq)
+}
+
+func TestGlobalrandFixture(t *testing.T) {
+	analysistest.Run(t, fixture(t, "globalrand"), analysis.Globalrand)
+}
+
+func TestErrdropFixture(t *testing.T) {
+	analysistest.Run(t, fixture(t, "errdrop"), analysis.Errdrop)
+}
+
+// TestRepoIsClean is the acceptance gate: the whole module must be free of
+// letvet findings (same check as `go run ./cmd/letvet ./...`).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis is not short")
+	}
+	pkgs, err := analysis.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.Suite, false)
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load enumerates the packages matching the patterns with `go list`,
+// parses their non-test files and type-checks them in dependency order.
+// Standard-library imports are resolved from source through go/importer,
+// so loading needs no pre-built export data and no external modules.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		byPath: make(map[string]*listedPackage),
+		done:   make(map[string]*Package),
+	}
+	for _, lp := range listed {
+		ld.byPath[lp.ImportPath] = lp
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		p, err := ld.check(lp.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a single
+// package, with std imports from source. Immediate subdirectories that
+// contain .go files are importable by their bare directory name, so a
+// fixture can ship a mini "timeutil" next to the code under test. Used by
+// the fixture test harness.
+func LoadDir(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		byPath: make(map[string]*listedPackage),
+		done:   make(map[string]*Package),
+	}
+	subs, err := filepath.Glob(filepath.Join(dir, "*", "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range subs {
+		sub := filepath.Dir(f)
+		name := filepath.Base(sub)
+		lp := ld.byPath[name]
+		if lp == nil {
+			lp = &listedPackage{ImportPath: name, Dir: sub}
+			ld.byPath[name] = lp
+		}
+		lp.GoFiles = append(lp.GoFiles, filepath.Base(f))
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(matches)
+	return ld.checkFiles(filepath.Base(dir), dir, matches)
+}
+
+type loader struct {
+	fset   *token.FileSet
+	std    types.Importer
+	byPath map[string]*listedPackage
+	done   map[string]*Package
+}
+
+// Import implements types.Importer over the module's own packages,
+// delegating everything else to the source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := ld.byPath[path]; ok {
+		p, err := ld.check(lp.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) check(path string) (*Package, error) {
+	if p, ok := ld.done[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	ld.done[path] = nil // cycle marker
+	lp := ld.byPath[path]
+	// Type-check module dependencies first so Import hits the cache.
+	for _, imp := range lp.Imports {
+		if _, ok := ld.byPath[imp]; ok {
+			if _, err := ld.check(imp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	files := make([]string, len(lp.GoFiles))
+	for i, f := range lp.GoFiles {
+		files[i] = filepath.Join(lp.Dir, f)
+	}
+	p, err := ld.checkFiles(lp.ImportPath, lp.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	ld.done[path] = p
+	return p, nil
+}
+
+func (ld *loader) checkFiles(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(ld.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"letdma/internal/analysis"
+)
+
+// moduleRoot returns the module root (two levels above this file).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestLoadModulePackages(t *testing.T) {
+	pkgs, err := analysis.Load(moduleRoot(t), "./internal/timeutil", "./internal/model")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", p.Path)
+		}
+	}
+	if pkgs[0].Path != "letdma/internal/model" {
+		t.Errorf("packages not sorted: first is %s", pkgs[0].Path)
+	}
+}

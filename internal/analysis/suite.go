@@ -1,0 +1,4 @@
+package analysis
+
+// Suite is the letvet analyzer suite in its canonical order.
+var Suite = []*Analyzer{Detrange, Ticktime, Floateq, Globalrand, Errdrop}

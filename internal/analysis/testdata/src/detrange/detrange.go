@@ -1,0 +1,78 @@
+// Fixture for the detrange analyzer: order-dependent effects under
+// range-over-map loops.
+package detrange
+
+import "sort"
+
+type model struct {
+	names []string
+}
+
+func (m *model) AddVar(name string) { m.names = append(m.names, name) }
+func (m *model) lookup(string) bool { return false }
+
+func emitAppend(vars map[string]int) []string {
+	var out []string
+	for name := range vars { // want "order-dependent effect \\(append to out\\)"
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func emitVars(m *model, vars map[string]int) {
+	for name := range vars { // want "order-dependent effect \\(call to m.AddVar\\)"
+		m.AddVar(name)
+	}
+}
+
+func writeOuter(weights map[string]float64) float64 {
+	var total float64
+	for _, w := range weights { // want "order-dependent effect \\(write to total\\)"
+		total = total + w
+	}
+	return total
+}
+
+func countOuter(vars map[string]int) int {
+	n := 0
+	for range vars { // want "order-dependent effect \\(update of n\\)"
+		n++
+	}
+	return n
+}
+
+// Keyed stores into surrounding maps commute across distinct keys: allowed.
+func invert(vars map[string]int) map[int]string {
+	inv := make(map[int]string, len(vars))
+	for name, i := range vars {
+		inv[i] = name
+	}
+	return inv
+}
+
+// Pure reads with an order-independent outcome: allowed.
+func allPositive(weights map[string]float64) bool {
+	for _, w := range weights {
+		if w <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Iterating a sorted key slice is the compliant pattern: not a map range.
+func emitSorted(m *model, vars map[string]int) {
+	keys := emitAppend(vars)
+	for _, name := range keys {
+		m.AddVar(name)
+	}
+}
+
+// Genuinely commutative per-iteration effects may be waived.
+func markAll(flags map[string]bool, marks []bool, idx map[string]int) {
+	//letvet:ordered
+	for name := range flags {
+		marks[idx[name]] = true
+	}
+}

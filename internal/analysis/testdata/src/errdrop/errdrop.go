@@ -1,0 +1,34 @@
+// Fixture for the errdrop analyzer: statement-position calls that discard
+// an error result.
+package errdrop
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type exporter struct{}
+
+func (exporter) Flush() error                         { return nil }
+func (exporter) WriteRow(io.Writer, int) (int, error) { return 0, nil }
+
+func bad(w io.Writer, e exporter) {
+	e.Flush()           // want "call discards its error result"
+	e.WriteRow(w, 1)    // want "call discards its error result"
+	fmt.Fprintf(w, "x") // want "call discards its error result"
+}
+
+func good(w io.Writer, e exporter) error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	_ = e.Flush()                    // explicit discard stays visible: allowed
+	fmt.Println("done")              // stdout print family: allowed
+	fmt.Fprintf(os.Stderr, "note\n") // process stderr: allowed
+	var b strings.Builder
+	b.WriteString("never fails")        // Builder writes: allowed
+	fmt.Fprintln(os.Stdout, b.String()) // process stdout: allowed
+	return nil
+}

@@ -1,0 +1,40 @@
+// Fixture for the floateq analyzer: raw float equality outside the
+// designated helpers.
+package floateq
+
+import "math"
+
+func pivotEqual(a, b float64) bool {
+	return a == b // want "== between floating-point operands"
+}
+
+func ratioDiffers(x, y float64) bool {
+	return x/3 != y/3 // want "!= between floating-point operands"
+}
+
+func fractional(c float64) bool {
+	return c != math.Trunc(c) // want "!= between floating-point operands"
+}
+
+// Constant sentinel compares are exact-store checks: allowed.
+func isUnset(tol float64) bool { return tol == 0 }
+
+func isUnit(c float64) bool { return c != 1 }
+
+// Designated helpers may compare exactly: allowed.
+func isFixed(lo, hi float64) bool { return lo == hi }
+
+func isIntegral(c float64) bool { return c == math.Trunc(c) }
+
+func approxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// Integer equality is not the analyzer's business: allowed.
+func sameCount(a, b int) bool { return a == b }
+
+// An audited raw compare may be waived.
+func bitwiseSame(a, b float64) bool {
+	//letvet:floateq
+	return a == b
+}

@@ -1,0 +1,26 @@
+// Fixture for the globalrand analyzer: auto-seeded global math/rand use.
+package globalrand
+
+import "math/rand"
+
+func badDraw(n int) int {
+	return rand.Intn(n) // want "global rand.Intn uses the shared auto-seeded source"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want "global rand.Float64 uses the shared auto-seeded source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle uses the shared auto-seeded source"
+}
+
+// Building and using an injected generator is the compliant pattern.
+func goodDraw(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+func goodParam(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

@@ -1,0 +1,40 @@
+// Fixture for the ticktime analyzer: float literals and time.Durations
+// flowing into integer model ticks.
+package ticktime
+
+import (
+	"time"
+
+	"timeutil"
+)
+
+type task struct {
+	Period timeutil.Time
+	WCET   timeutil.Time
+}
+
+func badLiteral(base float64) timeutil.Time {
+	return timeutil.Time(base * 1.5) // want "float literal 1.5 flows into timeutil.Time"
+}
+
+func badLiteralExpr(scale float64) task {
+	return task{
+		Period: timeutil.Time(scale * 1000.0), // want "float literal 1000.0 flows into timeutil.Time"
+		WCET:   timeutil.Microseconds(1500),   // integer constructor: allowed
+	}
+}
+
+func badDuration(d time.Duration) timeutil.Time {
+	return timeutil.Time(d) // want "time.Duration converted to timeutil.Time"
+}
+
+// Re-quantizing a computed float without literals is the documented single
+// quantization point: allowed.
+func scale(t timeutil.Time, u float64) timeutil.Time {
+	return timeutil.Time(u * float64(t))
+}
+
+// Integer conversions are exact: allowed.
+func fromInt(n int64) timeutil.Time {
+	return timeutil.Time(n)
+}

@@ -1,0 +1,12 @@
+// Mini timeutil mirroring the real package's named Time type, so the
+// fixture type-checks without importing the module.
+package timeutil
+
+// Time is an instant or duration in integer nanoseconds.
+type Time int64
+
+// Microsecond is 1000 ticks.
+const Microsecond Time = 1000
+
+// Microseconds returns a Time of us microseconds.
+func Microseconds(us int64) Time { return Time(us) * Microsecond }

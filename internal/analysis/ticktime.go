@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Ticktime enforces the exact-time discipline of internal/timeutil: model
+// instants and durations are integer nanosecond ticks, never floats or
+// wall-clock time.Durations. It flags
+//
+//   - conversions timeutil.Time(e) where e mentions a floating-point
+//     literal — the literal is quantized at an arbitrary point and the
+//     rounding silently leaks into periods, offsets and latencies; write
+//     the quantity with the integer constructors (timeutil.Microseconds,
+//     Milliseconds, ...) instead; and
+//   - conversions of a time.Duration into timeutil.Time — wall-clock
+//     durations (solver timeouts, runtimes) and model time must not mix.
+//
+// Float expressions without literals (e.g. scaling an existing tick count
+// by a computed utilization and re-quantizing once) remain allowed: the
+// conversion is then the single documented quantization point.
+var Ticktime = &Analyzer{
+	Name: "ticktime",
+	Doc:  "forbids float literals and time.Durations flowing into timeutil.Time ticks",
+	Scope: func(path string) bool {
+		return !scopeInternal("timeutil", "analysis")(path)
+	},
+	Run: runTicktime,
+}
+
+func runTicktime(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() || !namedAs(tv.Type, "timeutil", "Time") {
+			return true
+		}
+		arg := call.Args[0]
+		if namedAs(pass.TypesInfo.Types[arg].Type, "time", "Duration") {
+			pass.Reportf(call.Pos(), "time.Duration converted to timeutil.Time: wall-clock durations must not flow into model ticks")
+			return true
+		}
+		if lit := containsFloatLit(arg); lit != nil {
+			pass.Reportf(call.Pos(), "float literal %s flows into timeutil.Time: use the integer tick constructors (timeutil.Microseconds etc.)", lit.Value)
+		}
+		return true
+	})
+	return nil
+}

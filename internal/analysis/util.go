@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// scopeInternal builds a Scope matching the module's internal packages with
+// the given base names (e.g. "letopt" matches letdma/internal/letopt).
+func scopeInternal(names ...string) func(string) bool {
+	return func(path string) bool {
+		for _, n := range names {
+			if strings.HasSuffix(path, "internal/"+n) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && b.Info()&types.IsComplex == 0
+}
+
+// namedAs reports whether t is (a pointer to) a named type with the given
+// type name declared in a package with the given package name. Matching by
+// package name rather than import path keeps the check valid for both the
+// real module packages and the self-contained test fixtures.
+func namedAs(t types.Type, pkgName, typeName string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// baseIdent unwraps selector/index/star/paren chains down to the leftmost
+// identifier: f.m.Cons[i] -> f, (*x).y -> x. Returns nil when the base is
+// not a plain identifier (e.g. a call result).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether id resolves to an object declared outside
+// the [lo, hi] node span (loop body), i.e. to surrounding state.
+func declaredOutside(info *types.Info, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return false
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// enclosingFuncName returns the name of the innermost function declaration
+// containing pos, or "" for file scope / function literals.
+func enclosingFuncName(files []*ast.File, pos token.Pos) string {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd.Name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// selectorPkg returns the imported package a selector expression's
+// qualifier resolves to (e.g. rand in rand.Intn), or nil.
+func selectorPkg(info *types.Info, sel *ast.SelectorExpr) *types.Package {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// containsFloatLit returns the first floating-point literal inside e, or
+// nil. Integer literals and named constants are not reported.
+func containsFloatLit(e ast.Expr) *ast.BasicLit {
+	var found *ast.BasicLit
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.FLOAT {
+			found = bl
+			return false
+		}
+		return true
+	})
+	return found
+}

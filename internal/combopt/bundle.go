@@ -26,12 +26,12 @@ package combopt
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"letdma/internal/dma"
 	"letdma/internal/let"
 	"letdma/internal/model"
+	"letdma/internal/ordered"
 	"letdma/internal/timeutil"
 )
 
@@ -107,10 +107,9 @@ func extractBundles(a *let.Analysis) []*bundle {
 // sortedShared returns the shared labels in label-ID order.
 func sortedShared(a *let.Analysis) []model.SharedLabel {
 	out := make([]model.SharedLabel, 0, len(a.Shared))
-	for _, sl := range a.Shared {
-		out = append(out, sl)
+	for _, id := range ordered.Keys(a.Shared) {
+		out = append(out, a.Shared[id])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Label.ID < out[j].Label.ID })
 	return out
 }
 

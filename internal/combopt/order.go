@@ -3,11 +3,11 @@ package combopt
 import (
 	"math"
 	"math/bits"
-	"sort"
 
 	"letdma/internal/dma"
 	"letdma/internal/let"
 	"letdma/internal/model"
+	"letdma/internal/ordered"
 	"letdma/internal/timeutil"
 )
 
@@ -74,11 +74,7 @@ type orderObjective struct {
 func buildOrderObjective(a *let.Analysis, transfers []dma.Transfer, gamma dma.Deadlines, obj dma.Objective) *orderObjective {
 	reqm := taskReq(a, transfers)
 	oo := &orderObjective{lastIn: make([][]int, len(transfers))}
-	ids := make([]model.TaskID, 0, len(reqm))
-	for id := range reqm {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := ordered.Keys(reqm)
 	for _, id := range ids {
 		oo.tasks = append(oo.tasks, id)
 		oo.req = append(oo.req, reqm[id])

@@ -6,6 +6,7 @@ import (
 
 	"letdma/internal/dma"
 	"letdma/internal/let"
+	"letdma/internal/ordered"
 )
 
 // Granularity names the grouping level a solution was built at.
@@ -167,7 +168,8 @@ func solveAt(a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Obj
 		res.Objective = float64(len(transfers))
 	default:
 		worst := 0.0
-		for id, g := range gamma {
+		for _, id := range ordered.Keys(gamma) {
+			g := gamma[id]
 			lam := float64(dma.Latency(a, cm, sched, 0, id, dma.PerTaskReadiness))
 			if g > 0 {
 				if r := lam / float64(g); r > worst {

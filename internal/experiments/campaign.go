@@ -125,16 +125,18 @@ func baselineFeasible(a *let.Analysis, cm dma.CostModel, sched *dma.Schedule, ga
 }
 
 // RenderCampaign prints acceptance ratios per alpha.
-func RenderCampaign(w io.Writer, rows []CampaignRow) {
-	fmt.Fprintf(w, "%-8s %8s %12s %12s %12s\n", "alpha", "systems", "proposed", "giotto-dma", "giotto-cpu")
+func RenderCampaign(w io.Writer, rows []CampaignRow) error {
+	ew := &errWriter{w: w}
+	ew.printf("%-8s %8s %12s %12s %12s\n", "alpha", "systems", "proposed", "giotto-dma", "giotto-cpu")
 	for _, r := range rows {
 		if r.Total == 0 {
-			fmt.Fprintf(w, "%-8.1f %8d %12s %12s %12s\n", r.Alpha, 0, "-", "-", "-")
+			ew.printf("%-8.1f %8d %12s %12s %12s\n", r.Alpha, 0, "-", "-", "-")
 			continue
 		}
 		pct := func(n int) string {
 			return fmt.Sprintf("%5.1f%%", 100*float64(n)/float64(r.Total))
 		}
-		fmt.Fprintf(w, "%-8.1f %8d %12s %12s %12s\n", r.Alpha, r.Total, pct(r.Proposed), pct(r.DMAA), pct(r.CPU))
+		ew.printf("%-8.1f %8d %12s %12s %12s\n", r.Alpha, r.Total, pct(r.Proposed), pct(r.DMAA), pct(r.CPU))
 	}
+	return ew.err
 }

@@ -63,7 +63,9 @@ func TestRenderCampaign(t *testing.T) {
 		{Alpha: 0.4, Total: 0},
 	}
 	var buf bytes.Buffer
-	RenderCampaign(&buf, rows)
+	if err := RenderCampaign(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "90.0%") || !strings.Contains(out, "50.0%") {
 		t.Errorf("percentages missing:\n%s", out)

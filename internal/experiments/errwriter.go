@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// errWriter sequences formatted writes to an io.Writer, remembering the
+// first error and turning all subsequent writes into no-ops. It lets the
+// Render* functions report I/O failures (a full disk, a closed pipe)
+// without threading an error check through every Fprintf.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+func (ew *errWriter) newline() {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = io.WriteString(ew.w, "\n")
+}

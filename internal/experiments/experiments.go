@@ -215,16 +215,18 @@ func tasksByName(sys *model.System) []*model.Task {
 }
 
 // RenderFig2 prints one Fig. 2 panel as an aligned text table.
-func RenderFig2(w io.Writer, r *Fig2Result) {
-	fmt.Fprintf(w, "Fig.2 panel: %s, alpha=%.1f (%d transfers, solved in %v%s)\n",
+func RenderFig2(w io.Writer, r *Fig2Result) error {
+	ew := &errWriter{w: w}
+	ew.printf("Fig.2 panel: %s, alpha=%.1f (%d transfers, solved in %v%s)\n",
 		r.Objective, r.Alpha, r.Solved.NumTransfers, r.Solved.SolveTime.Round(time.Millisecond), milpNote(r.Solved))
-	fmt.Fprintf(w, "%-6s %12s %12s %12s %12s %8s %8s %8s\n",
+	ew.printf("%-6s %12s %12s %12s %12s %8s %8s %8s\n",
 		"task", "lam(ours)", "lam(CPU)", "lam(DMA-A)", "lam(DMA-B)", "r(CPU)", "r(DMA-A)", "r(DMA-B)")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-6s %12s %12s %12s %12s %8.3f %8.3f %8.3f\n",
+		ew.printf("%-6s %12s %12s %12s %12s %8.3f %8.3f %8.3f\n",
 			row.Task, row.Proposed, row.CPU, row.DMAA, row.DMAB,
 			row.RatioCPU(), row.RatioDMAA(), row.RatioDMAB())
 	}
+	return ew.err
 }
 
 func milpNote(s *Solved) string {
@@ -269,35 +271,37 @@ func TableI(a *let.Analysis, alphas []float64, base Config) ([]TableIRow, error)
 }
 
 // RenderTableI prints Table I in the paper's layout.
-func RenderTableI(w io.Writer, rows []TableIRow, alphas []float64) {
-	fmt.Fprintf(w, "%-10s", "Obj.")
+func RenderTableI(w io.Writer, rows []TableIRow, alphas []float64) error {
+	ew := &errWriter{w: w}
+	ew.printf("%-10s", "Obj.")
 	for _, al := range alphas {
-		fmt.Fprintf(w, " %14s", fmt.Sprintf("time a=%.1f", al))
+		ew.printf(" %14s", fmt.Sprintf("time a=%.1f", al))
 	}
 	for _, al := range alphas {
-		fmt.Fprintf(w, " %12s", fmt.Sprintf("#DMA a=%.1f", al))
+		ew.printf(" %12s", fmt.Sprintf("#DMA a=%.1f", al))
 	}
-	fmt.Fprintln(w)
+	ew.newline()
 	for _, obj := range []dma.Objective{dma.NoObjective, dma.MinTransfers, dma.MinDelayRatio} {
-		fmt.Fprintf(w, "%-10s", obj)
+		ew.printf("%-10s", obj)
 		for _, al := range alphas {
 			r := findRow(rows, obj, al)
 			if r == nil {
-				fmt.Fprintf(w, " %14s", "-")
+				ew.printf(" %14s", "-")
 				continue
 			}
-			fmt.Fprintf(w, " %14s", r.SolveTime.Round(time.Millisecond))
+			ew.printf(" %14s", r.SolveTime.Round(time.Millisecond))
 		}
 		for _, al := range alphas {
 			r := findRow(rows, obj, al)
 			if r == nil {
-				fmt.Fprintf(w, " %12s", "-")
+				ew.printf(" %12s", "-")
 				continue
 			}
-			fmt.Fprintf(w, " %12d", r.NumTransfers)
+			ew.printf(" %12d", r.NumTransfers)
 		}
-		fmt.Fprintln(w)
+		ew.newline()
 	}
+	return ew.err
 }
 
 func findRow(rows []TableIRow, obj dma.Objective, alpha float64) *TableIRow {
@@ -352,13 +356,15 @@ func trimErr(err error) string {
 }
 
 // RenderSensitivity prints the alpha sweep.
-func RenderSensitivity(w io.Writer, rows []SensitivityRow) {
-	fmt.Fprintf(w, "%-8s %-10s %-12s %s\n", "alpha", "feasible", "max lam/T", "note")
+func RenderSensitivity(w io.Writer, rows []SensitivityRow) error {
+	ew := &errWriter{w: w}
+	ew.printf("%-8s %-10s %-12s %s\n", "alpha", "feasible", "max lam/T", "note")
 	for _, r := range rows {
 		if r.Feasible {
-			fmt.Fprintf(w, "%-8.1f %-10t %-12.5f\n", r.Alpha, true, r.MaxRatio)
+			ew.printf("%-8.1f %-10t %-12.5f\n", r.Alpha, true, r.MaxRatio)
 		} else {
-			fmt.Fprintf(w, "%-8.1f %-10t %-12s %s\n", r.Alpha, false, "-", r.Reason)
+			ew.printf("%-8.1f %-10t %-12s %s\n", r.Alpha, false, "-", r.Reason)
 		}
 	}
+	return ew.err
 }

@@ -105,7 +105,9 @@ func TestTableILite(t *testing.T) {
 		t.Fatalf("rows = %d, want 6", len(rows))
 	}
 	var buf bytes.Buffer
-	RenderTableI(&buf, rows, alphas)
+	if err := RenderTableI(&buf, rows, alphas); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"NO-OBJ", "OBJ-DMAT", "OBJ-DEL", "#DMA"} {
 		if !strings.Contains(out, want) {
@@ -129,7 +131,9 @@ func TestSensitivityFullWaters(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	RenderSensitivity(&buf, rows)
+	if err := RenderSensitivity(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "alpha") {
 		t.Error("render output malformed")
 	}
@@ -142,7 +146,9 @@ func TestRenderFig2(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	RenderFig2(&buf, res)
+	if err := RenderFig2(&buf, res); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"Fig.2 panel", "NO-OBJ", "DASM", "r(CPU)"} {
 		if !strings.Contains(out, want) {

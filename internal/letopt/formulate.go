@@ -32,6 +32,7 @@ import (
 	"letdma/internal/let"
 	"letdma/internal/milp"
 	"letdma/internal/model"
+	"letdma/internal/ordered"
 	"letdma/internal/timeutil"
 )
 
@@ -136,10 +137,7 @@ func (f *formulation) collectTasks() {
 	for _, c := range f.a.Comms {
 		seen[c.Task] = true
 	}
-	for id := range seen {
-		f.tasks = append(f.tasks, id)
-	}
-	sort.Slice(f.tasks, func(i, j int) bool { return f.tasks[i] < f.tasks[j] })
+	f.tasks = ordered.Keys(seen)
 	for _, id := range f.tasks {
 		ws, rs := f.a.GroupsFor(0, id)
 		// Completion comms: reads; for write-only tasks, writes (rule R1;
@@ -183,11 +181,7 @@ func (f *formulation) collectPatterns() {
 
 // patternKeys returns the pattern keys sorted with s0 first, then by key.
 func (f *formulation) patternKeys() []string {
-	keys := make([]string, 0, len(f.pattern))
-	for k := range f.pattern {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := ordered.Keys(f.pattern)
 	s0 := patternKey(f.a.ActiveAt(0))
 	sort.SliceStable(keys, func(i, j int) bool {
 		if keys[i] == s0 {
@@ -328,12 +322,7 @@ func (f *formulation) addLayoutVars() {
 
 // memories returns the memory IDs with objects, sorted.
 func (f *formulation) memories() []model.MemoryID {
-	out := make([]model.MemoryID, 0, len(f.objsOf))
-	for mem := range f.objsOf {
-		out = append(out, mem)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return ordered.Keys(f.objsOf)
 }
 
 // addAdjacencyLinks creates the ADB AND-variables: ADB[z1,z2] = 1 iff the
@@ -363,15 +352,11 @@ func (f *formulation) addAdjacencyLinks() {
 }
 
 func (f *formulation) membersSorted() [][]int {
-	classes := make([]let.DirectionClass, 0, len(f.members))
-	for cl := range f.members {
-		classes = append(classes, cl)
-	}
-	sort.Slice(classes, func(i, j int) bool {
-		if classes[i].Mem != classes[j].Mem {
-			return classes[i].Mem < classes[j].Mem
+	classes := ordered.KeysFunc(f.members, func(a, b let.DirectionClass) int {
+		if a.Mem != b.Mem {
+			return int(a.Mem) - int(b.Mem)
 		}
-		return classes[i].Kind < classes[j].Kind
+		return int(a.Kind) - int(b.Kind)
 	})
 	out := make([][]int, 0, len(classes))
 	for _, cl := range classes {
@@ -429,15 +414,9 @@ type adbEntry struct {
 
 func (f *formulation) adbSorted() []adbEntry {
 	out := make([]adbEntry, 0, len(f.adb))
-	for k, v := range f.adb {
-		out = append(out, adbEntry{z1: k[0], z2: k[1], v: v})
+	for _, k := range ordered.KeysFunc(f.adb, ordered.Pair2) {
+		out = append(out, adbEntry{z1: k[0], z2: k[1], v: f.adb[k]})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].z1 != out[j].z1 {
-			return out[i].z1 < out[j].z1
-		}
-		return out[i].z2 < out[j].z2
-	})
 	return out
 }
 
@@ -585,13 +564,16 @@ func (f *formulation) branchPriorities() []int {
 			prio[v] = 3
 		}
 	}
-	for _, ads := range f.ad {
-		for _, v := range ads {
+	for _, mem := range f.memories() {
+		// Every adjacency variable gets the same tier: the keyed store
+		// commutes, so iteration order cannot matter here.
+		//letvet:ordered
+		for _, v := range f.ad[mem] {
 			prio[v] = 2
 		}
 	}
-	for _, rgs := range f.rg {
-		for _, v := range rgs {
+	for _, id := range f.tasks {
+		for _, v := range f.rg[id] {
 			prio[v] = 1
 		}
 	}

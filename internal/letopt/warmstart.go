@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"letdma/internal/dma"
+	"letdma/internal/ordered"
 )
 
 // warmStart translates a known-feasible (layout, schedule) pair — typically
@@ -74,9 +75,11 @@ func (f *formulation) warmStart(layout *dma.Layout, sched *dma.Schedule) ([]floa
 		}
 	}
 
-	// ADB and Y linearizations.
+	// ADB and Y linearizations, in sorted key order so the assignment is a
+	// pure function of the (layout, schedule) input.
 	gmem := f.a.Sys.GlobalMemory()
-	for pair, v := range f.adb {
+	for _, pair := range ordered.KeysFunc(f.adb, ordered.Pair2) {
+		v := f.adb[pair]
 		z1, z2 := pair[0], pair[1]
 		lo1, go1 := dma.CommObjects(f.a, z1)
 		lo2, go2 := dma.CommObjects(f.a, z2)
@@ -87,7 +90,8 @@ func (f *formulation) warmStart(layout *dma.Layout, sched *dma.Schedule) ([]floa
 			x[v] = 1
 		}
 	}
-	for key, v := range f.y {
+	for _, key := range ordered.KeysFunc(f.y, ordered.Triple3) {
+		v := f.y[key]
 		z1, z2, g0 := key[0], key[1], key[2]
 		if x[f.adb[[2]int{z1, z2}]] > 0.5 && slotOf[z1] == g0+1 && slotOf[z2] == g0+1 {
 			x[v] = 1

@@ -208,15 +208,15 @@ func Solve(m *Model, p Params) (*Solution, error) {
 		// fractional within the tier.
 		branchVar := VarID(-1)
 		worstFrac := p.IntTol
-		bestPrio := math.Inf(-1)
+		bestPrio := math.MinInt
 		for _, id := range intVars {
 			f := math.Abs(res.x[id] - math.Round(res.x[id]))
 			if f <= p.IntTol {
 				continue
 			}
-			prio := 0.0
+			prio := 0
 			if p.BranchPriority != nil {
-				prio = float64(p.BranchPriority[id])
+				prio = p.BranchPriority[id]
 			}
 			if prio > bestPrio || (prio == bestPrio && f > worstFrac) {
 				bestPrio = prio
@@ -360,7 +360,7 @@ func objIntegerStep(m *Model, objSign float64) float64 {
 		if c == 0 {
 			continue
 		}
-		if c != math.Trunc(c) {
+		if !isIntegral(c) {
 			return 0
 		}
 		coefs = append(coefs, c)
@@ -377,6 +377,13 @@ func objIntegerStep(m *Model, objSign float64) float64 {
 		return 0
 	}
 	return float64(g)
+}
+
+// isIntegral reports whether c is an exact integer. The comparison is
+// exact on purpose: bound rounding is only sound for coefficients that
+// are representable integers, not merely close to one.
+func isIntegral(c float64) bool {
+	return c == math.Trunc(c)
 }
 
 func gcd64(a, b int64) int64 {

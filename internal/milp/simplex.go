@@ -231,6 +231,13 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpSolution {
 	return lpSolution{status: lpOptimal, x: x, obj: obj, iters: totalIters}
 }
 
+// isFixed reports whether a variable's bounds pin it to a single value.
+// Exact comparison is intended: fixings come from branching, which sets
+// lo and hi to the same rounded value.
+func isFixed(lo, hi float64) bool {
+	return lo == hi
+}
+
 // iterate runs primal simplex iterations with the given cost vector until
 // optimality, unboundedness, or a limit.
 func (s *simplexState) iterate(cost []float64, deadline time.Time) (lpStatus, int) {
@@ -270,7 +277,7 @@ func (s *simplexState) iterate(cost []float64, deadline time.Time) (lpStatus, in
 			if stj == stBasic {
 				continue
 			}
-			if p.lo[j] == p.hi[j] && stj != stFree {
+			if isFixed(p.lo[j], p.hi[j]) && stj != stFree {
 				continue // fixed variable can never improve
 			}
 			d := cost[j]

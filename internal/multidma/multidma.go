@@ -23,11 +23,11 @@ package multidma
 
 import (
 	"fmt"
-	"sort"
 
 	"letdma/internal/dma"
 	"letdma/internal/let"
 	"letdma/internal/model"
+	"letdma/internal/ordered"
 	"letdma/internal/timeutil"
 )
 
@@ -178,10 +178,7 @@ func precedences(a *let.Analysis, base *dma.Schedule) [][]int {
 				}
 			}
 		}
-		for p := range set {
-			pred[g] = append(pred[g], p)
-		}
-		sort.Ints(pred[g])
+		pred[g] = append(pred[g], ordered.Keys(set)...)
 	}
 	return pred
 }

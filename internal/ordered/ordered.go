@@ -1,0 +1,53 @@
+// Package ordered provides deterministic iteration helpers for maps. Go
+// randomizes map iteration order per run; any code whose output order must
+// be a pure function of its input — MILP variable and constraint emission,
+// schedule construction, report rendering — iterates a sorted key slice
+// from this package instead of ranging over the map directly. The letvet
+// detrange analyzer (internal/analysis) enforces the convention.
+package ordered
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns m's keys sorted ascending.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// KeysFunc returns m's keys sorted by the comparison function (negative
+// when a sorts before b, as in slices.SortFunc). The comparison must be a
+// strict weak order over the key space for the result to be deterministic.
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, compare func(a, b K) int) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.SortFunc(out, compare)
+	return out
+}
+
+// Pair2 compares two [2]int keys lexicographically, for KeysFunc.
+func Pair2(a, b [2]int) int {
+	if c := cmp.Compare(a[0], b[0]); c != 0 {
+		return c
+	}
+	return cmp.Compare(a[1], b[1])
+}
+
+// Triple3 compares two [3]int keys lexicographically, for KeysFunc.
+func Triple3(a, b [3]int) int {
+	if c := cmp.Compare(a[0], b[0]); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a[1], b[1]); c != 0 {
+		return c
+	}
+	return cmp.Compare(a[2], b[2])
+}

@@ -1,0 +1,34 @@
+package ordered
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[string]int{"c": 2, "a": 0, "b": 1}
+	for i := 0; i < 10; i++ {
+		got := Keys(m)
+		if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKeysFunc(t *testing.T) {
+	m := map[[2]int]string{{2, 1}: "", {1, 9}: "", {1, 2}: "", {0, 0}: ""}
+	got := KeysFunc(m, Pair2)
+	want := [][2]int{{0, 0}, {1, 2}, {1, 9}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("KeysFunc = %v, want %v", got, want)
+	}
+}
+
+func TestTriple3(t *testing.T) {
+	m := map[[3]int]int{{1, 1, 2}: 0, {1, 1, 1}: 0, {0, 9, 9}: 0}
+	got := KeysFunc(m, Triple3)
+	want := [][3]int{{0, 9, 9}, {1, 1, 1}, {1, 1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("KeysFunc(Triple3) = %v, want %v", got, want)
+	}
+}

@@ -4,7 +4,27 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
+
+func TestFromDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want Time
+	}{
+		{0, 0},
+		{time.Nanosecond, Nanosecond},
+		{3360 * time.Nanosecond, Microseconds(3) + 360}, // o_DP = 3.36 us
+		{2 * time.Millisecond, Milliseconds(2)},
+		{time.Second, Second},
+		{-time.Microsecond, -Microsecond},
+	}
+	for _, c := range cases {
+		if got := FromDuration(c.d); got != c.want {
+			t.Errorf("FromDuration(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
 
 func TestGCD(t *testing.T) {
 	cases := []struct{ a, b, want int64 }{
