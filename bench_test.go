@@ -206,6 +206,70 @@ func BenchmarkMILPFullWaters(b *testing.B) {
 	b.Logf("MILP status: %s", status)
 }
 
+// BenchmarkParallelBnB measures the epoch-synchronized branch and bound on
+// the WATERS (lite) instance under OBJ-DMAT at 1 and 4 workers. The node
+// budget fixes the explored tree: both runs visit the identical nodes and
+// return the identical solution — the determinism tests pin that — so the
+// wall-clock difference is purely the concurrent LP solves of each epoch's
+// batch. The speedup requires runtime.NumCPU() > 1; on a single-CPU host
+// the worker counts tie (the guarantee is "never different results", not
+// "always faster"). The full WATERS model is excluded deliberately: its
+// root relaxation alone exceeds any sensible benchmark budget, so runs on
+// it only ever measure the time limit.
+func BenchmarkParallelBnB(b *testing.B) {
+	if testing.Short() {
+		b.Skip("node-bounded MILP search takes tens of seconds")
+	}
+	a := mustAnalyze(b, waters.Lite())
+	cm := dma.DefaultCostModel()
+	comb, err := combopt.Solve(a, cm, nil, dma.MinTransfers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				res, err := letopt.Solve(a, cm, nil, dma.MinTransfers, letopt.Options{
+					MILP:       milp.Params{MaxNodes: 128, Workers: workers},
+					WarmLayout: comb.Layout,
+					WarmSched:  comb.Sched,
+					Slots:      12,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Sched == nil {
+					b.Fatal("MILP returned no solution")
+				}
+				nodes = res.Nodes
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}
+
+// BenchmarkParallelCampaign measures the acceptance-ratio campaign at 1 and
+// 4 workers; the rows are identical (generation is sequential and seeded),
+// only the per-system feasibility checks fan out.
+func BenchmarkParallelCampaign(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var accepted int
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Campaign(experiments.CampaignConfig{
+					Systems: 40, Seed: 7, Alphas: []float64{0.3, 0.6}, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				accepted = rows[0].Proposed + rows[1].Proposed
+			}
+			b.ReportMetric(float64(accepted), "accepted")
+		})
+	}
+}
+
 // BenchmarkSensitivity sweeps alpha in {0.1, ..., 0.5} (Section VII).
 func BenchmarkSensitivity(b *testing.B) {
 	a := fullWaters(b)

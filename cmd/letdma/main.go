@@ -109,6 +109,7 @@ type common struct {
 	solver  *string
 	timeout *time.Duration
 	slots   *int
+	workers *int
 }
 
 func commonFlags(fs *flag.FlagSet) *common {
@@ -120,6 +121,7 @@ func commonFlags(fs *flag.FlagSet) *common {
 		solver:  fs.String("solver", "comb", "solver: comb | milp"),
 		timeout: fs.Duration("timeout", 60*time.Second, "MILP time limit"),
 		slots:   fs.Int("slots", 0, "MILP transfer slots (0 = |C(s0)|)"),
+		workers: fs.Int("workers", 0, "worker goroutines for experiment fan-out and branch-and-bound (0 = sequential; results are identical for every count)"),
 	}
 }
 
@@ -171,6 +173,7 @@ func (c *common) config() (experiments.Config, error) {
 		Solver:        solver,
 		MILPTimeLimit: *c.timeout,
 		Slots:         *c.slots,
+		Workers:       *c.workers,
 	}, nil
 }
 
@@ -178,6 +181,7 @@ func cmdFig2(args []string) error {
 	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
 	c := commonFlags(fs)
 	csvOut := fs.Bool("csv", false, "emit CSV instead of the text table")
+	all := fs.Bool("all", false, "render every objective at alphas 0.2 and 0.4 (the paper's six panels); -workers fans the panels out")
 	_ = fs.Parse(args)
 	a, err := c.analysis()
 	if err != nil {
@@ -186,6 +190,27 @@ func cmdFig2(args []string) error {
 	cfg, err := c.config()
 	if err != nil {
 		return err
+	}
+	if *all {
+		panels, err := experiments.Fig2Sweep(a, []float64{0.2, 0.4}, nil, cfg)
+		if err != nil {
+			return err
+		}
+		for i, p := range panels {
+			if *csvOut {
+				if err := experiments.WriteFig2CSV(os.Stdout, p); err != nil {
+					return err
+				}
+				continue
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := experiments.RenderFig2(os.Stdout, p); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	res, err := experiments.Fig2(a, cfg)
 	if err != nil {
@@ -495,12 +520,14 @@ func cmdCampaign(args []string) error {
 	maxBytes := fs.Int64("maxbytes", 32<<10, "max random label size")
 	auto := fs.Bool("automotive", false, "use the KDB automotive benchmark generator")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of the text table")
+	workers := fs.Int("workers", 0, "worker goroutines for the per-system feasibility checks (0 = sequential; rows are identical for every count)")
 	_ = fs.Parse(args)
 	rows, err := experiments.Campaign(experiments.CampaignConfig{
 		Systems:    *systems,
 		Seed:       *seed,
 		RandomOpts: waters.RandomOptions{MaxLabelBytes: *maxBytes},
 		Automotive: *auto,
+		Workers:    *workers,
 	})
 	if err != nil {
 		return err

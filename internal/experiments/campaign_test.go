@@ -57,6 +57,31 @@ func TestCampaignDeterministic(t *testing.T) {
 	}
 }
 
+// TestCampaignWorkersInvariant requires the instance fan-out to leave the
+// rows — and hence the rendered acceptance-ratio table — untouched: system
+// generation stays on the per-alpha seeded generator and counts fold in
+// system order, so only wall-clock time may change with Workers.
+func TestCampaignWorkersInvariant(t *testing.T) {
+	base := CampaignConfig{Systems: 12, Seed: 5, Alphas: []float64{0.3, 0.7}}
+	seq, err := Campaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 9} {
+		cfg := base
+		cfg.Workers = workers
+		par, err := Campaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Errorf("workers=%d row %d differs: %+v vs %+v", workers, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
 func TestRenderCampaign(t *testing.T) {
 	rows := []CampaignRow{
 		{Alpha: 0.2, Total: 10, Proposed: 9, DMAA: 5, CPU: 3},

@@ -4,8 +4,18 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
+
+// csvRatio formats a latency ratio for CSV export; the undefined-ratio
+// sentinel (zero-latency baseline) becomes "n/a" instead of "NaN".
+func csvRatio(r float64) string {
+	if math.IsNaN(r) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.6f", r)
+}
 
 // WriteFig2CSV emits one or more Fig. 2 panels as CSV rows
 // (panel metadata + per-task latencies and ratios), for plotting with
@@ -31,9 +41,9 @@ func WriteFig2CSV(w io.Writer, results ...*Fig2Result) error {
 				fmt.Sprint(int64(row.CPU)),
 				fmt.Sprint(int64(row.DMAA)),
 				fmt.Sprint(int64(row.DMAB)),
-				fmt.Sprintf("%.6f", row.RatioCPU()),
-				fmt.Sprintf("%.6f", row.RatioDMAA()),
-				fmt.Sprintf("%.6f", row.RatioDMAB()),
+				csvRatio(row.RatioCPU()),
+				csvRatio(row.RatioDMAA()),
+				csvRatio(row.RatioDMAB()),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

@@ -17,6 +17,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -60,6 +61,12 @@ type Config struct {
 	MILPTimeLimit time.Duration
 	// Slots caps the MILP transfer slots (0 = |C(s0)|).
 	Slots int
+	// Workers bounds the experiment fan-out (Table I cells, Fig. 2 rows)
+	// and is passed through to the solvers: combopt explores granularities
+	// concurrently and the MILP switches to its epoch-synchronized engine,
+	// whose results are identical for every worker count >= 1. 0 or 1 is
+	// fully sequential.
+	Workers int
 	// CostModel defaults to dma.DefaultCostModel().
 	CostModel *dma.CostModel
 	// CPUCostModel defaults to dma.CPUCopyCostModel().
@@ -109,7 +116,8 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 	}
 
 	start := time.Now()
-	comb, err := combopt.Solve(a, cm, gamma, cfg.Objective)
+	comb, err := combopt.SolveWithOptions(a, cm, gamma, cfg.Objective,
+		combopt.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: alpha=%.2f infeasible: %w", cfg.Alpha, err)
 	}
@@ -124,7 +132,7 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 	if cfg.Solver == SolverMILP {
 		res, err := letopt.Solve(a, cm, gamma, cfg.Objective, letopt.Options{
 			Slots:      cfg.Slots,
-			MILP:       milp.Params{TimeLimit: cfg.MILPTimeLimit},
+			MILP:       milp.Params{TimeLimit: cfg.MILPTimeLimit, Workers: cfg.Workers},
 			WarmLayout: comb.Layout,
 			WarmSched:  comb.Sched,
 		})
@@ -161,14 +169,29 @@ func (r Fig2Row) RatioDMAA() float64 { return ratio(r.Proposed, r.DMAA) }
 // RatioDMAB returns lambda_proposed / lambda_GiottoDMAB.
 func (r Fig2Row) RatioDMAB() float64 { return ratio(r.Proposed, r.DMAB) }
 
+// ratio divides two latencies, guarding the zero-latency baseline case: a
+// write-only task with an empty read set has latency 0 under a baseline,
+// and a naive division would render +Inf (or, for 0/0, NaN) into the
+// Fig. 2 tables. Equal zero latencies are a genuine ratio of 1; a nonzero
+// latency against a zero baseline has no defined ratio and returns the NaN
+// sentinel, which the renderers print as "n/a".
 func ratio(a, b timeutil.Time) float64 {
 	if b == 0 {
 		if a == 0 {
 			return 1
 		}
-		return 0
+		return math.NaN()
 	}
 	return float64(a) / float64(b)
+}
+
+// fmtRatio renders a latency ratio for the text tables, mapping the
+// undefined-ratio sentinel to "n/a".
+func fmtRatio(r float64) string {
+	if math.IsNaN(r) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", r)
 }
 
 // Fig2Result is one panel of Fig. 2.
@@ -193,18 +216,63 @@ func Fig2(a *let.Analysis, cfg Config) (*Fig2Result, error) {
 	perComm := dma.GiottoPerCommSchedule(a)
 	dmaB := dma.GiottoReorder(a, solved.Sched)
 
+	// One cell per (task, baseline) pair; the rows are pre-indexed so the
+	// parallel fan-out cannot reorder the rendered table.
+	tasks := tasksByName(a.Sys)
 	out := &Fig2Result{Alpha: cfg.Alpha, Objective: cfg.Objective, Solved: solved}
-	for _, task := range tasksByName(a.Sys) {
-		row := Fig2Row{
+	out.Rows = make([]Fig2Row, len(tasks))
+	if err := forEachIndexed(len(tasks), cfg.Workers, func(i int) error {
+		task := tasks[i]
+		out.Rows[i] = Fig2Row{
 			Task:     task.Name,
 			Proposed: dma.WorstLatency(a, cm, solved.Sched, task.ID, dma.PerTaskReadiness),
 			CPU:      dma.WorstLatency(a, cpuCM, perComm, task.ID, dma.AfterAllReadiness),
 			DMAA:     dma.WorstLatency(a, cm, perComm, task.ID, dma.AfterAllReadiness),
 			DMAB:     dma.WorstLatency(a, cm, dmaB, task.ID, dma.AfterAllReadiness),
 		}
-		out.Rows = append(out.Rows, row)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// Fig2Sweep computes a whole grid of Fig. 2 panels — every objective ×
+// alpha combination, the paper's six panels for the default arguments —
+// fanning the panels out across base.Workers goroutines. Panels land in a
+// pre-indexed slice (objective-major, alpha-minor, like Table I), so the
+// rendered output is byte-identical to computing them one by one.
+func Fig2Sweep(a *let.Analysis, alphas []float64, objs []dma.Objective, base Config) ([]*Fig2Result, error) {
+	if len(objs) == 0 {
+		objs = []dma.Objective{dma.NoObjective, dma.MinTransfers, dma.MinDelayRatio}
+	}
+	type cell struct {
+		obj   dma.Objective
+		alpha float64
+	}
+	cells := make([]cell, 0, len(objs)*len(alphas))
+	for _, obj := range objs {
+		for _, alpha := range alphas {
+			cells = append(cells, cell{obj, alpha})
+		}
+	}
+	panels := make([]*Fig2Result, len(cells))
+	err := forEachIndexed(len(cells), base.Workers, func(i int) error {
+		cfg := base
+		cfg.Alpha = cells[i].alpha
+		cfg.Objective = cells[i].obj
+		cfg.Workers = perCellWorkers(base.Workers)
+		res, err := Fig2(a, cfg)
+		if err != nil {
+			return err
+		}
+		panels[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return panels, nil
 }
 
 // tasksByName returns the tasks ordered by task ID (stable across runs).
@@ -222,9 +290,9 @@ func RenderFig2(w io.Writer, r *Fig2Result) error {
 	ew.printf("%-6s %12s %12s %12s %12s %8s %8s %8s\n",
 		"task", "lam(ours)", "lam(CPU)", "lam(DMA-A)", "lam(DMA-B)", "r(CPU)", "r(DMA-A)", "r(DMA-B)")
 	for _, row := range r.Rows {
-		ew.printf("%-6s %12s %12s %12s %12s %8.3f %8.3f %8.3f\n",
+		ew.printf("%-6s %12s %12s %12s %12s %8s %8s %8s\n",
 			row.Task, row.Proposed, row.CPU, row.DMAA, row.DMAB,
-			row.RatioCPU(), row.RatioDMAA(), row.RatioDMAB())
+			fmtRatio(row.RatioCPU()), fmtRatio(row.RatioDMAA()), fmtRatio(row.RatioDMAB()))
 	}
 	return ew.err
 }
@@ -245,27 +313,55 @@ type TableIRow struct {
 	MILPStatus   string
 }
 
+// perCellWorkers maps the fan-out worker count to the per-cell solver
+// worker count. The pool is already saturated by the cells, so each cell
+// solves with one worker — but the MILP engine selection (epoch engine for
+// Workers >= 1, sequential depth-first for 0) must not depend on HOW MANY
+// workers drive the fan-out, or the same table would change between
+// -workers 1 and -workers 4.
+func perCellWorkers(fanout int) int {
+	if fanout >= 1 {
+		return 1
+	}
+	return 0
+}
+
 // TableI reproduces Table I: for each objective and alpha, the solver
-// running time and the number of DMA transfers at s0.
+// running time and the number of DMA transfers at s0. The cells (objective
+// × alpha) fan out across base.Workers goroutines into a pre-indexed row
+// slice, so the rendered table is byte-identical to the sequential run.
 func TableI(a *let.Analysis, alphas []float64, base Config) ([]TableIRow, error) {
-	var rows []TableIRow
+	type cell struct {
+		obj   dma.Objective
+		alpha float64
+	}
+	var cells []cell
 	for _, obj := range []dma.Objective{dma.NoObjective, dma.MinTransfers, dma.MinDelayRatio} {
 		for _, alpha := range alphas {
-			cfg := base
-			cfg.Alpha = alpha
-			cfg.Objective = obj
-			solved, err := SolveProposed(a, cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, TableIRow{
-				Objective:    obj,
-				Alpha:        alpha,
-				SolveTime:    solved.SolveTime,
-				NumTransfers: solved.NumTransfers,
-				MILPStatus:   solved.MILPStatus,
-			})
+			cells = append(cells, cell{obj, alpha})
 		}
+	}
+	rows := make([]TableIRow, len(cells))
+	err := forEachIndexed(len(cells), base.Workers, func(i int) error {
+		cfg := base
+		cfg.Alpha = cells[i].alpha
+		cfg.Objective = cells[i].obj
+		cfg.Workers = perCellWorkers(base.Workers)
+		solved, err := SolveProposed(a, cfg)
+		if err != nil {
+			return err
+		}
+		rows[i] = TableIRow{
+			Objective:    cells[i].obj,
+			Alpha:        cells[i].alpha,
+			SolveTime:    solved.SolveTime,
+			NumTransfers: solved.NumTransfers,
+			MILPStatus:   solved.MILPStatus,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -160,10 +161,53 @@ func TestRenderFig2(t *testing.T) {
 func TestRatioEdgeCases(t *testing.T) {
 	r := Fig2Row{Proposed: 0, CPU: 0}
 	if r.RatioCPU() != 1 {
-		t.Errorf("0/0 ratio = %f, want 1", r.RatioCPU())
+		t.Errorf("0/0 ratio = %f, want 1 (equal latencies)", r.RatioCPU())
 	}
 	r2 := Fig2Row{Proposed: 10, CPU: 0}
-	if r2.RatioCPU() != 0 {
-		t.Errorf("x/0 ratio = %f, want 0 (flagged)", r2.RatioCPU())
+	if !math.IsNaN(r2.RatioCPU()) {
+		t.Errorf("x/0 ratio = %f, want the NaN undefined-ratio sentinel", r2.RatioCPU())
+	}
+	r3 := Fig2Row{Proposed: 10, CPU: 20}
+	if r3.RatioCPU() != 0.5 {
+		t.Errorf("10/20 ratio = %f, want 0.5", r3.RatioCPU())
+	}
+}
+
+// TestZeroBaselineRenders is the regression for the zero-latency baseline
+// cell: a write-only task (empty read set) has latency 0 under a baseline,
+// and both the text table and the CSV export must render its ratio as
+// "n/a" instead of +Inf/NaN.
+func TestZeroBaselineRenders(t *testing.T) {
+	res := &Fig2Result{
+		Alpha:     0.2,
+		Objective: dma.NoObjective,
+		Solved:    &Solved{NumTransfers: 1},
+		Rows: []Fig2Row{
+			{Task: "tauW", Proposed: 1000, CPU: 0, DMAA: 0, DMAB: 2000},
+			{Task: "tauR", Proposed: 1000, CPU: 2000, DMAA: 2000, DMAB: 2000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderFig2(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("zero-baseline row not rendered as n/a:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("undefined ratio leaked into the table:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := WriteFig2CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	csvOut := buf.String()
+	if !strings.Contains(csvOut, "n/a") {
+		t.Errorf("zero-baseline row not exported as n/a:\n%s", csvOut)
+	}
+	if strings.Contains(csvOut, "NaN") {
+		t.Errorf("NaN leaked into the CSV export:\n%s", csvOut)
 	}
 }

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"letdma/internal/dma"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite the testdata/ golden files")
+
+// checkGolden byte-compares got against testdata/<name> (or rewrites the
+// file under -update). Byte equality is the point: the parallel fan-out
+// must not be able to reorder or reformat a single cell of the rendered
+// tables.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s does not match the golden file:\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// normalizeFig2 pins the wall-clock-dependent field so the rendering is
+// byte-stable. Everything else in the panel is deterministic.
+func normalizeFig2(r *Fig2Result) *Fig2Result {
+	r.Solved.SolveTime = 42 * time.Millisecond
+	return r
+}
+
+func TestRenderFig2Golden(t *testing.T) {
+	a := liteAnalysis(t)
+	for _, tc := range []struct {
+		name string
+		obj  dma.Objective
+	}{
+		{"fig2_lite_del.golden", dma.MinDelayRatio},
+		{"fig2_lite_dmat.golden", dma.MinTransfers},
+	} {
+		res, err := Fig2(a, Config{Alpha: 0.3, Objective: tc.obj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := RenderFig2(&buf, normalizeFig2(res)); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, buf.Bytes())
+	}
+}
+
+func TestRenderTableIGolden(t *testing.T) {
+	a := liteAnalysis(t)
+	alphas := []float64{0.2, 0.4}
+	rows, err := TableI(a, alphas, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		rows[i].SolveTime = time.Duration(i+1) * time.Millisecond // wall-clock normalized
+	}
+	var buf bytes.Buffer
+	if err := RenderTableI(&buf, rows, alphas); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "tablei_lite.golden", buf.Bytes())
+}
+
+// TestFanOutWorkersInvariant requires the parallel experiment fan-out to
+// produce byte-identical renderings for every worker count: Table I cells,
+// the Fig. 2 sweep and the campaign rows must not depend on scheduling.
+func TestFanOutWorkersInvariant(t *testing.T) {
+	a := liteAnalysis(t)
+	alphas := []float64{0.2, 0.4}
+
+	renderTableI := func(workers int) string {
+		rows, err := TableI(a, alphas, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			rows[i].SolveTime = 0
+		}
+		var buf bytes.Buffer
+		if err := RenderTableI(&buf, rows, alphas); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if seq, par := renderTableI(1), renderTableI(4); seq != par {
+		t.Errorf("Table I differs between 1 and 4 workers:\n%s\nvs\n%s", seq, par)
+	}
+
+	renderSweep := func(workers int) string {
+		panels, err := Fig2Sweep(a, alphas, nil, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, p := range panels {
+			if err := RenderFig2(&buf, normalizeFig2(p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	if seq, par := renderSweep(1), renderSweep(4); seq != par {
+		t.Errorf("Fig. 2 sweep differs between 1 and 4 workers:\n%s\nvs\n%s", seq, par)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"letdma/internal/combopt"
 	"letdma/internal/dma"
 	"letdma/internal/let"
+	"letdma/internal/milp"
 	"letdma/internal/model"
 	"letdma/internal/waters"
 )
@@ -158,4 +159,53 @@ func TestRepeatSolveDeterministic(t *testing.T) {
 			t.Error("letopt layouts differ between repeat solves")
 		}
 	})
+}
+
+// TestSolveWorkersInvariant solves the same instances with the
+// epoch-synchronized engine at 1 and 4 workers and requires the entire
+// result — incumbent objective, search statistics, decoded layout and
+// schedule — to be identical: -workers may only change wall-clock time.
+// Searches are warm-started from combopt and node-bounded so the test
+// stays fast; the node limit itself must trip identically per worker
+// count, which exercises the ordered-merge accounting too.
+func TestSolveWorkersInvariant(t *testing.T) {
+	cm := dma.DefaultCostModel()
+	cases := []struct {
+		name     string
+		a        *let.Analysis
+		obj      dma.Objective
+		maxNodes int
+		slow     bool
+	}{
+		{"chain/OBJ-DEL", chainSystem(t), dma.MinDelayRatio, 3000, false},
+		{"chain/OBJ-DMAT", chainSystem(t), dma.MinTransfers, 3000, false},
+		{"fig1/OBJ-DMAT", fig1System(t), dma.MinTransfers, 300, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && (testing.Short() || raceEnabled) {
+				t.Skip("LP-heavy case; the chain cases cover the engine here")
+			}
+			warm, err := combopt.Solve(tc.a, cm, nil, tc.obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solveWith := func(workers int) *Result {
+				res, err := Solve(tc.a, cm, nil, tc.obj, Options{
+					MILP:       milp.Params{Workers: workers, MaxNodes: tc.maxNodes},
+					WarmLayout: warm.Layout,
+					WarmSched:  warm.Sched,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res.Runtime = 0 // the only field allowed to vary
+				return res
+			}
+			r1, r4 := solveWith(1), solveWith(4)
+			if !reflect.DeepEqual(r1, r4) {
+				t.Errorf("workers=4 result differs from workers=1:\n%+v\nvs\n%+v", r1, r4)
+			}
+		})
+	}
 }

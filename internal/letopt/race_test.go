@@ -1,0 +1,8 @@
+//go:build race
+
+package letopt
+
+// raceEnabled reports whether the race detector is compiled in; expensive
+// solver stress cases skip under it to keep the CI race job inside the
+// package test timeout (cheaper cases still cover the parallel paths).
+const raceEnabled = true

@@ -48,11 +48,19 @@ type Params struct {
 	TimeLimit time.Duration
 	// MaxNodes bounds the number of explored nodes; 0 means unlimited.
 	MaxNodes int
-	// GapTol terminates when (incumbent-bestBound)/max(1,|incumbent|)
-	// drops below it; 0 requires proof of optimality.
+	// GapTol terminates when the relative MIP gap (see relGap) drops below
+	// it; 0 requires proof of optimality.
 	GapTol float64
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
+	// Workers selects the search engine. 0 (the default) runs the
+	// sequential depth-first search. n >= 1 runs the epoch-synchronized
+	// search with n concurrent LP workers; its whole trajectory —
+	// incumbent, bound, decoded solution, node and simplex-iteration
+	// counts — is identical for every n, because nodes are dispatched in
+	// best-bound order in fixed-size epochs and merged in dispatch order
+	// (see parallel.go).
+	Workers int
 	// WarmStart, if non-nil, is checked for feasibility and installed as
 	// the initial incumbent.
 	WarmStart []float64
@@ -83,60 +91,159 @@ type bbNode struct {
 	seq    int
 }
 
-// Solve minimizes or maximizes the model by LP-based branch and bound.
-func Solve(m *Model, p Params) (*Solution, error) {
-	start := time.Now()
+// searchState is the search context shared by the sequential and the
+// epoch-synchronized engines: the minimization form of the model, the root
+// bounds after presolve, the integer variable set, bound-rounding data and
+// the current incumbent.
+type searchState struct {
+	m         *Model
+	p         Params
+	start     time.Time
+	deadline  time.Time
+	objSign   float64
+	lo0, hi0  []float64
+	intVars   []VarID
+	intObjGCD float64
+	objOffset float64
+	incumbent []float64
+	incObj    float64 // minimization objective of incumbent
+}
+
+// prepSearch normalizes the parameters and builds the shared search state.
+// A non-nil Solution means the search is already decided (presolve proved
+// infeasibility); a non-nil error means the warm start was rejected.
+func prepSearch(m *Model, p Params, start time.Time) (*searchState, *Solution, error) {
 	if p.IntTol == 0 {
 		p.IntTol = 1e-6
 	}
-	var deadline time.Time
+	st := &searchState{m: m, p: p, start: start, objSign: 1.0, incObj: math.Inf(1)}
 	if p.TimeLimit > 0 {
-		deadline = start.Add(p.TimeLimit)
+		st.deadline = start.Add(p.TimeLimit)
 	}
-
-	// Work in minimization internally.
-	objSign := 1.0
 	if m.ObjSense == Maximize {
-		objSign = -1.0
+		st.objSign = -1.0
 	}
-	minObj := func(x []float64) float64 { return objSign * m.Obj.Eval(x) }
 
-	lo := make([]float64, len(m.Vars))
-	hi := make([]float64, len(m.Vars))
+	st.lo0 = make([]float64, len(m.Vars))
+	st.hi0 = make([]float64, len(m.Vars))
 	for i, v := range m.Vars {
-		lo[i], hi[i] = v.Lo, v.Hi
+		st.lo0[i], st.hi0[i] = v.Lo, v.Hi
 	}
-	if err := presolve(m, lo, hi); err != nil {
-		return &Solution{Status: StatusInfeasible, Runtime: time.Since(start), Gap: math.Inf(1)}, nil
+	if err := presolve(m, st.lo0, st.hi0); err != nil {
+		return nil, &Solution{Status: StatusInfeasible, Runtime: time.Since(start), Gap: math.Inf(1)}, nil
 	}
 
-	var incumbent []float64
-	incObj := math.Inf(1) // minimization objective of incumbent
 	if p.WarmStart != nil {
 		if err := m.CheckFeasible(p.WarmStart, 1e-6); err != nil {
-			return nil, fmt.Errorf("milp: warm start rejected: %w", err)
+			return nil, nil, fmt.Errorf("milp: warm start rejected: %w", err)
 		}
-		incumbent = append([]float64(nil), p.WarmStart...)
-		incObj = minObj(incumbent)
-		logf(p.Log, "warm start accepted, obj=%.6g\n", objSign*incObj)
+		st.incumbent = append([]float64(nil), p.WarmStart...)
+		st.incObj = st.minObj(st.incumbent)
+		logf(p.Log, "warm start accepted, obj=%.6g\n", st.objSign*st.incObj)
 	}
 
-	// Collect integer variables once.
-	var intVars []VarID
 	for _, v := range m.Vars {
 		if v.Type != Continuous {
-			intVars = append(intVars, v.ID)
+			st.intVars = append(st.intVars, v.ID)
 		}
 	}
+	st.intObjGCD = objIntegerStep(m, st.objSign)
+	st.objOffset = st.objSign * m.Obj.Const
+	return st, nil, nil
+}
 
-	intObjGCD := objIntegerStep(m, objSign)
-	objOffset := objSign * m.Obj.Const // achievable objectives are offset + k*step
+// minObj evaluates x in minimization sense.
+func (st *searchState) minObj(x []float64) float64 { return st.objSign * st.m.Obj.Eval(x) }
+
+// pickBranchVar returns the branching variable for the LP point x: highest
+// priority tier first, most fractional within the tier; -1 when x is
+// integral within tolerance.
+func (st *searchState) pickBranchVar(x []float64) VarID {
+	branchVar := VarID(-1)
+	worstFrac := st.p.IntTol
+	bestPrio := math.MinInt
+	for _, id := range st.intVars {
+		f := math.Abs(x[id] - math.Round(x[id]))
+		if f <= st.p.IntTol {
+			continue
+		}
+		prio := 0
+		if st.p.BranchPriority != nil {
+			prio = st.p.BranchPriority[id]
+		}
+		if prio > bestPrio || (prio == bestPrio && f > worstFrac) {
+			bestPrio = prio
+			worstFrac = f
+			branchVar = id
+		}
+	}
+	return branchVar
+}
+
+// tryIncumbent snaps the integral LP point x, verifies feasibility and
+// installs it as the incumbent if it improves. Reports whether it did.
+func (st *searchState) tryIncumbent(x []float64) bool {
+	cand := append([]float64(nil), x...)
+	for _, id := range st.intVars {
+		cand[id] = math.Round(cand[id])
+	}
+	if err := st.m.CheckFeasible(cand, 1e-5); err != nil {
+		return false
+	}
+	obj := st.minObj(cand)
+	if obj >= st.incObj-1e-12 {
+		return false
+	}
+	st.incObj = obj
+	st.incumbent = cand
+	return true
+}
+
+// finish assembles the Solution from the terminal search state. openBound
+// is the minimum relaxation bound among still-open nodes (+Inf when the
+// search exhausted the tree).
+func (st *searchState) finish(openBound float64, nodes, iters int, hitLimit bool) *Solution {
+	bestBound := math.Min(openBound, st.incObj)
+	sol := &Solution{Nodes: nodes, SimplexIters: iters, Runtime: time.Since(st.start)}
+	switch {
+	case st.incumbent == nil && !hitLimit:
+		sol.Status = StatusInfeasible
+		sol.Gap = math.Inf(1)
+	case st.incumbent == nil:
+		sol.Status = StatusNoSolution
+		sol.Gap = math.Inf(1)
+		sol.BestBound = st.objSign * bestBound
+	default:
+		sol.X = st.incumbent
+		sol.Obj = st.objSign * st.incObj
+		sol.BestBound = st.objSign * bestBound
+		sol.Gap = relGap(st.incObj, bestBound)
+		if !hitLimit || sol.Gap <= st.p.GapTol+1e-12 {
+			sol.Status = StatusOptimal
+		} else {
+			sol.Status = StatusFeasible
+		}
+	}
+	logf(st.p.Log, "done: status=%s obj=%.6g bound=%.6g gap=%.3g nodes=%d iters=%d in %v\n",
+		sol.Status, sol.Obj, sol.BestBound, sol.Gap, sol.Nodes, sol.SimplexIters, sol.Runtime)
+	return sol
+}
+
+// Solve minimizes or maximizes the model by LP-based branch and bound.
+func Solve(m *Model, p Params) (*Solution, error) {
+	if p.Workers >= 1 {
+		return solveEpochs(m, p)
+	}
+	start := time.Now()
+	st, early, err := prepSearch(m, p, start)
+	if early != nil || err != nil {
+		return early, err
+	}
 
 	nodes := 0
 	simplexIters := 0
 	seq := 0
-	stack := []*bbNode{{lo: lo, hi: hi, bound: math.Inf(-1), depth: 0, seq: seq}}
-	bestBound := math.Inf(-1)
+	stack := []*bbNode{{lo: st.lo0, hi: st.hi0, bound: math.Inf(-1), depth: 0, seq: seq}}
 	hitLimit := false
 
 	openBound := func() float64 {
@@ -155,7 +262,7 @@ func Solve(m *Model, p Params) (*Solution, error) {
 			hitLimit = true
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
 			hitLimit = true
 			break
 		}
@@ -167,11 +274,11 @@ func Solve(m *Model, p Params) (*Solution, error) {
 		nodes++
 
 		// Bound-based pruning (works for warm starts too).
-		if node.bound > incObj-1e-9 && !math.IsInf(node.bound, -1) {
+		if node.bound > st.incObj-1e-9 && !math.IsInf(node.bound, -1) {
 			continue
 		}
 
-		res := solveLPmin(m, objSign, node.lo, node.hi, deadline)
+		res := solveLPmin(m, st.objSign, node.lo, node.hi, st.deadline)
 		simplexIters += res.iters
 		switch res.status {
 		case lpTimeLimit, lpIterLimit:
@@ -179,7 +286,7 @@ func Solve(m *Model, p Params) (*Solution, error) {
 		case lpInfeasible:
 			continue
 		case lpUnbounded:
-			if len(intVars) == 0 || node.depth == 0 {
+			if len(st.intVars) == 0 || node.depth == 0 {
 				return &Solution{
 					Status: StatusUnbounded, Nodes: nodes, SimplexIters: simplexIters,
 					Runtime: time.Since(start), Gap: math.Inf(1),
@@ -191,56 +298,28 @@ func Solve(m *Model, p Params) (*Solution, error) {
 			break
 		}
 		lpObj := res.obj
-		if lpObj > incObj-1e-9 {
+		if lpObj > st.incObj-1e-9 {
 			continue // cannot improve
 		}
 		// Round the bound up to the next representable objective value
 		// when all objective coefficients over integer variables are
 		// integral multiples of a step.
-		if intObjGCD > 0 {
-			lpObj = roundBoundUp(lpObj, intObjGCD, objOffset)
-			if lpObj > incObj-1e-9 {
+		if st.intObjGCD > 0 {
+			lpObj = roundBoundUp(lpObj, st.intObjGCD, st.objOffset)
+			if lpObj > st.incObj-1e-9 {
 				continue
 			}
 		}
 
-		// Find the branching variable: highest priority tier first, most
-		// fractional within the tier.
-		branchVar := VarID(-1)
-		worstFrac := p.IntTol
-		bestPrio := math.MinInt
-		for _, id := range intVars {
-			f := math.Abs(res.x[id] - math.Round(res.x[id]))
-			if f <= p.IntTol {
-				continue
-			}
-			prio := 0
-			if p.BranchPriority != nil {
-				prio = p.BranchPriority[id]
-			}
-			if prio > bestPrio || (prio == bestPrio && f > worstFrac) {
-				bestPrio = prio
-				worstFrac = f
-				branchVar = id
-			}
-		}
+		branchVar := st.pickBranchVar(res.x)
 		if branchVar == -1 {
 			// Integral: candidate incumbent. Snap and verify.
-			cand := append([]float64(nil), res.x...)
-			for _, id := range intVars {
-				cand[id] = math.Round(cand[id])
-			}
-			if err := m.CheckFeasible(cand, 1e-5); err == nil {
-				obj := minObj(cand)
-				if obj < incObj-1e-12 {
-					incObj = obj
-					incumbent = cand
-					logf(p.Log, "node %d: new incumbent obj=%.6g\n", nodes, objSign*incObj)
-					if p.GapTol > 0 {
-						ob := math.Min(openBound(), lpObj)
-						if relGap(incObj, ob) <= p.GapTol {
-							hitLimit = true
-						}
+			if st.tryIncumbent(res.x) {
+				logf(p.Log, "node %d: new incumbent obj=%.6g\n", nodes, st.objSign*st.incObj)
+				if p.GapTol > 0 {
+					ob := math.Min(openBound(), lpObj)
+					if relGap(st.incObj, ob) <= p.GapTol {
+						hitLimit = true
 					}
 				}
 			}
@@ -277,40 +356,11 @@ func Solve(m *Model, p Params) (*Solution, error) {
 		}
 	}
 
-	// Final bound and gap.
-	if len(stack) == 0 && !hitLimit {
-		bestBound = incObj // search exhausted: bound equals incumbent
-	} else {
-		bestBound = math.Min(openBound(), incObj)
+	ob := math.Inf(1)
+	if len(stack) > 0 || hitLimit {
+		ob = openBound()
 	}
-
-	sol := &Solution{
-		Nodes:        nodes,
-		SimplexIters: simplexIters,
-		Runtime:      time.Since(start),
-	}
-	switch {
-	case incumbent == nil && !hitLimit:
-		sol.Status = StatusInfeasible
-		sol.Gap = math.Inf(1)
-	case incumbent == nil:
-		sol.Status = StatusNoSolution
-		sol.Gap = math.Inf(1)
-		sol.BestBound = objSign * bestBound
-	default:
-		sol.X = incumbent
-		sol.Obj = objSign * incObj
-		sol.BestBound = objSign * bestBound
-		sol.Gap = relGap(incObj, bestBound)
-		if !hitLimit || sol.Gap <= p.GapTol+1e-12 {
-			sol.Status = StatusOptimal
-		} else {
-			sol.Status = StatusFeasible
-		}
-	}
-	logf(p.Log, "done: status=%s obj=%.6g bound=%.6g gap=%.3g nodes=%d iters=%d in %v\n",
-		sol.Status, sol.Obj, sol.BestBound, sol.Gap, sol.Nodes, sol.SimplexIters, sol.Runtime)
-	return sol, nil
+	return st.finish(ob, nodes, simplexIters, hitLimit), nil
 }
 
 // solveLPmin solves the relaxation in minimization sense, including the
@@ -335,12 +385,23 @@ func solveLPmin(m *Model, objSign float64, lo, hi []float64, deadline time.Time)
 	return res
 }
 
-// relGap computes the relative optimality gap for minimization values.
+// relGap computes the relative optimality gap for minimization values,
+// following the CPLEX convention |inc - bound| / (1e-10 + |inc|). The
+// denominator floors at 1e-10 rather than 1: with max(1, |inc|) every
+// sub-unit objective (the OBJ-DEL delay ratios all live in (0, 1]) had its
+// gap understated by a factor of 1/|inc|, so GapTol early exits fired long
+// before the true relative gap was reached, and negative incumbents close
+// to zero reported near-zero gaps against much smaller bounds. A bound
+// that has met or numerically crossed the incumbent reports gap 0.
 func relGap(inc, bound float64) float64 {
 	if math.IsInf(inc, 1) || math.IsInf(bound, -1) {
 		return math.Inf(1)
 	}
-	return (inc - bound) / math.Max(1, math.Abs(inc))
+	diff := inc - bound
+	if diff <= 0 {
+		return 0
+	}
+	return diff / (1e-10 + math.Abs(inc))
 }
 
 // objIntegerStep returns a step g > 0 such that every achievable objective
