@@ -12,6 +12,8 @@
 //	channels    evaluate the multi-channel DMA extension
 //	rta         print WCRTs, slacks and gamma assignments
 //	campaign    acceptance-ratio study over random or automotive systems
+//	verify      differential verification over generated scenario families
+//	fuzz        seeded differential fuzzing sweep (reproduce with -seed)
 //	lp          dump the MILP in CPLEX LP format
 //	export      dump the selected system as a JSON description
 //
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"letdma/internal/dma"
@@ -34,17 +37,26 @@ import (
 	"letdma/internal/multidma"
 	"letdma/internal/rta"
 	"letdma/internal/sim"
+	"letdma/internal/sysgen"
 	"letdma/internal/timeutil"
 	"letdma/internal/trace"
+	"letdma/internal/verify"
 	"letdma/internal/waters"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches the subcommand and returns the process exit code:
+// 0 on success, 1 on a command error (including verification failures),
+// 2 on usage errors. Split from main so exit codes are testable.
+func run(argv []string) int {
+	if len(argv) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := argv[0], argv[1:]
 	var err error
 	switch cmd {
 	case "fig2":
@@ -63,6 +75,10 @@ func main() {
 		err = cmdRTA(args)
 	case "campaign":
 		err = cmdCampaign(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "fuzz":
+		err = cmdFuzz(args)
 	case "lp":
 		err = cmdLP(args)
 	case "export":
@@ -72,12 +88,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "letdma: unknown command %q\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "letdma %s: %v\n", cmd, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
@@ -92,6 +109,8 @@ commands:
   channels     evaluate the multi-channel DMA extension
   rta          print WCRTs, slacks and gamma assignments
   campaign     acceptance-ratio study over random systems
+  verify       differential verification over generated scenario families
+  fuzz         seeded differential fuzzing sweep
   lp           dump the MILP in LP format
   export       dump the selected system as a JSON description
 
@@ -537,6 +556,116 @@ func cmdCampaign(args []string) error {
 	}
 	fmt.Printf("Acceptance ratios over %d random systems per alpha (seed %d):\n\n", *systems, *seed)
 	return experiments.RenderCampaign(os.Stdout, rows)
+}
+
+// verifyFlags are the knobs shared by the verify and fuzz subcommands.
+type verifyFlags struct {
+	seed       *int64
+	n          *int
+	family     *string
+	workers    *int
+	timeout    *time.Duration
+	exhaustive *int64
+	quiet      *bool
+}
+
+func newVerifyFlags(fs *flag.FlagSet, defaultN int) *verifyFlags {
+	return &verifyFlags{
+		seed:       fs.Int64("seed", 1, "base generator seed (failures reproduce from it)"),
+		n:          fs.Int("n", defaultN, "number of scenarios to check"),
+		family:     fs.String("family", "", "restrict to one scenario family (harmonic | coprime | stars | single-core | saturated | extremes)"),
+		workers:    fs.Int("workers", 0, "worker goroutines for the solvers (0 = sequential; reports are identical for every count)"),
+		timeout:    fs.Duration("timeout", 5*time.Second, "MILP time limit per instance"),
+		exhaustive: fs.Int64("exhaustive", 0, "brute-force candidate budget (0 = harness default)"),
+		quiet:      fs.Bool("q", false, "print only failures and the summary"),
+	}
+}
+
+func (v *verifyFlags) options() verify.Options {
+	return verify.Options{
+		MILPTimeLimit:    *v.timeout,
+		ExhaustiveBudget: *v.exhaustive,
+		Workers:          *v.workers,
+	}
+}
+
+// scenarios builds the deterministic scenario list for the flags.
+func (v *verifyFlags) scenarios() ([]*sysgen.Scenario, error) {
+	if *v.n <= 0 {
+		return nil, fmt.Errorf("-n must be positive")
+	}
+	if *v.family == "" {
+		return sysgen.GenerateN(*v.seed, *v.n)
+	}
+	out := make([]*sysgen.Scenario, 0, *v.n)
+	for i := 0; i < *v.n; i++ {
+		sc, err := sysgen.Generate(*v.seed+int64(i), sysgen.Family(*v.family))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// runDifferential checks every scenario and reports per-scenario lines
+// plus a summary. It returns an error (exit code 1) if any scenario
+// produced violations, so CI can gate on the command directly.
+func runDifferential(scs []*sysgen.Scenario, opts verify.Options, quiet bool) error {
+	var werr error
+	printf := func(format string, args ...any) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Printf(format, args...)
+	}
+	failed := 0
+	for _, sc := range scs {
+		rep := verify.CheckScenario(sc, opts)
+		if len(rep.Violations) == 0 {
+			if !quiet {
+				printf("ok   %-24s comms=%-3d paths=%s\n", rep.Name, rep.NumComms, strings.Join(rep.Paths, ","))
+			}
+			continue
+		}
+		failed++
+		printf("FAIL %-24s comms=%-3d paths=%s\n", rep.Name, rep.NumComms, strings.Join(rep.Paths, ","))
+		for _, v := range rep.Violations {
+			printf("     %s\n", v)
+		}
+	}
+	printf("%d scenarios checked, %d failed\n", len(scs), failed)
+	if werr != nil {
+		return werr
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios violated paper invariants", failed, len(scs))
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	v := newVerifyFlags(fs, 2*len(sysgen.Families()))
+	_ = fs.Parse(args)
+	scs, err := v.scenarios()
+	if err != nil {
+		return err
+	}
+	return runDifferential(scs, v.options(), *v.quiet)
+}
+
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	v := newVerifyFlags(fs, 100)
+	_ = fs.Parse(args)
+	scs, err := v.scenarios()
+	if err != nil {
+		return err
+	}
+	// The fuzz sweep favors breadth: quiet per-scenario output by
+	// default would hide coverage, so keep the ok lines unless -q.
+	return runDifferential(scs, v.options(), *v.quiet)
 }
 
 func cmdExport(args []string) error {

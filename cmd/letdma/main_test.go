@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// runSilenced invokes run() with stdout/stderr pointed at the null
+// device, so exit-code assertions do not spam the test log.
+func runSilenced(t *testing.T, args ...string) int {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = devnull, devnull
+	defer func() { os.Stdout, os.Stderr = oldOut, oldErr }()
+	return run(args)
+}
+
+// TestExitCodes pins the process exit code of every subcommand: 0 on
+// success, 1 on command errors, 2 on usage errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no-args", nil, 2},
+		{"unknown-command", []string{"bogus"}, 2},
+		{"help", []string{"help"}, 0},
+		{"fig2", []string{"fig2", "-lite"}, 0},
+		{"table1", []string{"table1", "-lite"}, 0},
+		{"sensitivity", []string{"sensitivity", "-lite"}, 0},
+		{"schedule", []string{"schedule", "-lite"}, 0},
+		{"simulate", []string{"simulate", "-lite"}, 0},
+		{"channels", []string{"channels", "-lite", "-maxk", "2"}, 0},
+		{"rta", []string{"rta", "-lite"}, 0},
+		{"campaign", []string{"campaign", "-systems", "3"}, 0},
+		{"lp", []string{"lp", "-lite"}, 0},
+		{"export", []string{"export", "-lite"}, 0},
+		{"verify", []string{"verify", "-seed", "1", "-n", "6", "-q"}, 0},
+		{"fuzz", []string{"fuzz", "-seed", "3", "-n", "6", "-q"}, 0},
+		{"verify-unknown-family", []string{"verify", "-family", "bogus"}, 1},
+		{"verify-nonpositive-n", []string{"verify", "-n", "0"}, 1},
+		{"missing-system-file", []string{"export", "-f", "/nonexistent/system.json"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := runSilenced(t, tc.args...); got != tc.want {
+				t.Errorf("letdma %v: exit code %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestVerifyPropagatesWriteErrors: a failed stdout write (full disk,
+// closed pipe) must surface as exit code 1, not a silent success.
+func TestVerifyPropagatesWriteErrors(t *testing.T) {
+	full, err := os.OpenFile("/dev/full", os.O_WRONLY, 0)
+	if err != nil {
+		t.Skipf("no /dev/full on this platform: %v", err)
+	}
+	defer full.Close()
+	oldOut := os.Stdout
+	os.Stdout = full
+	defer func() { os.Stdout = oldOut }()
+	if got := run([]string{"verify", "-seed", "1", "-n", "1", "-family", "harmonic"}); got != 1 {
+		t.Errorf("verify with full stdout: exit code %d, want 1", got)
+	}
+}
+
+// TestVerifyDeterministicAcrossWorkers: the verify subcommand succeeds
+// identically for any worker count (the CI invocation relies on it).
+func TestVerifyDeterministicAcrossWorkers(t *testing.T) {
+	for _, w := range []string{"0", "1", "4"} {
+		if got := runSilenced(t, "verify", "-seed", "7", "-n", "6", "-q", "-workers", w); got != 0 {
+			t.Errorf("verify -workers %s: exit code %d, want 0", w, got)
+		}
+	}
+}

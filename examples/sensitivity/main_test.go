@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"testing"
+)
+
+// TestSmoke executes the example end to end and checks for the slack
+// table header, so a refactor cannot silently break the walkthrough.
+func TestSmoke(t *testing.T) {
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run .: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("Per-task slacks")) {
+		t.Errorf("output lacks the slack table header:\n%s", out)
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"testing"
+)
+
+// TestSmoke executes the example end to end and checks for the case
+// study banner, so a refactor cannot silently break the walkthrough.
+func TestSmoke(t *testing.T) {
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run .: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("WATERS 2019 case study")) {
+		t.Errorf("output lacks the case study banner:\n%s", out)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"letdma/internal/let"
 	"letdma/internal/model"
 	"letdma/internal/timeutil"
+	"letdma/internal/violation"
 )
 
 // Deadlines maps each task to its data-acquisition deadline gamma_i.
@@ -27,25 +28,39 @@ type Deadlines map[model.TaskID]timeutil.Time
 //   - all transfers issued at t1 complete before the next instant t2 of
 //     T*, including the wrap-around to the next hyperperiod (Constraint 10).
 //
-// A nil error means the solution is feasible.
+// A nil error means the solution is feasible. The error, when non-nil,
+// wraps the full violation.List (recover it with errors.As on
+// *violation.Error); ValidateAll returns the structured list directly.
 func Validate(a *let.Analysis, cm CostModel, layout *Layout, sched *Schedule, gamma Deadlines) error {
+	return ValidateAll(a, cm, layout, sched, gamma).Err()
+}
+
+// ValidateAll is Validate returning every violated condition instead of
+// only the first. An empty list means the solution is feasible.
+func ValidateAll(a *let.Analysis, cm CostModel, layout *Layout, sched *Schedule, gamma Deadlines) violation.List {
+	var vs violation.List
 	if err := cm.Validate(); err != nil {
-		return err
+		vs.Addf(violation.CostModel, "Section V", "%v", err)
+		return vs
 	}
 	commTr, err := sched.CommTransfer(a.NumComms())
 	if err != nil {
-		return err
+		vs.Addf(violation.Partition, "Constraint 1", "%v", err)
+		commTr = nil // downstream per-comm checks are skipped
 	}
 
 	// Uniform direction class per transfer.
 	for g, tr := range sched.Transfers {
 		if len(tr.Comms) == 0 {
-			return fmt.Errorf("dma: transfer %d is empty", g)
+			vs.Addf(violation.EmptyTransfer, "Constraint 1", "transfer %d is empty", g)
+			continue
 		}
 		cl := a.Class(tr.Comms[0])
 		for _, z := range tr.Comms[1:] {
 			if a.Class(z) != cl {
-				return fmt.Errorf("dma: transfer %d mixes direction classes %v and %v", g, cl, a.Class(z))
+				vs.Addf(violation.MixedClass, "Constraint 2",
+					"transfer %d mixes direction classes %v and %v", g, cl, a.Class(z))
+				break
 			}
 		}
 	}
@@ -57,12 +72,14 @@ func Validate(a *let.Analysis, cm CostModel, layout *Layout, sched *Schedule, ga
 		var bytes int64
 		for _, o := range objs {
 			if _, ok := layout.Position(m, o); !ok {
-				return fmt.Errorf("dma: required object %v not placed in memory %d", o, m)
+				vs.Addf(violation.Placement, "Constraint 3",
+					"required object %v not placed in memory %d", o, m)
 			}
 			bytes += a.Sys.Label(o.Label).Size
 		}
 		if cap := a.Sys.MemoryCapacity(m); cap > 0 && bytes > cap {
-			return fmt.Errorf("dma: memory %d needs %d bytes for label copies but holds %d", m, bytes, cap)
+			vs.Addf(violation.Capacity, "Section III-A",
+				"memory %d needs %d bytes for label copies but holds %d", m, bytes, cap)
 		}
 	}
 
@@ -71,61 +88,60 @@ func Validate(a *let.Analysis, cm CostModel, layout *Layout, sched *Schedule, ga
 		induced, origin := sched.InducedAt(a, t)
 		for k, tr := range induced {
 			if err := checkContiguous(a, layout, tr); err != nil {
-				return fmt.Errorf("dma: transfer %d at t=%v: %w", origin[k], t, err)
+				vs.Addf(violation.Contiguity, "Constraint 6",
+					"transfer %d at t=%v: %v", origin[k], t, err)
 			}
 		}
 	}
 
-	// Property 1: per task, all writes before all reads (transfer order).
-	for _, task := range a.Sys.Tasks {
-		ws, rs := a.GroupsFor(0, task.ID)
-		for _, w := range ws {
-			for _, r := range rs {
-				if commTr[w] >= commTr[r] {
-					return fmt.Errorf("dma: Property 1 violated for task %s: %s in transfer %d not before %s in transfer %d",
-						task.Name, a.CommString(w), commTr[w], a.CommString(r), commTr[r])
+	if commTr != nil {
+		// Property 1: per task, all writes before all reads (transfer order).
+		for _, task := range a.Sys.Tasks {
+			ws, rs := a.GroupsFor(0, task.ID)
+			for _, w := range ws {
+				for _, r := range rs {
+					if commTr[w] >= commTr[r] {
+						vs.Addf(violation.Property1, "Property 1",
+							"task %s: %s in transfer %d not before %s in transfer %d",
+							task.Name, a.CommString(w), commTr[w], a.CommString(r), commTr[r])
+					}
+				}
+			}
+		}
+
+		// Property 2: per label, the write strictly precedes every read.
+		for z, c := range a.Comms {
+			if c.Kind != let.Write {
+				continue
+			}
+			for z2, c2 := range a.Comms {
+				if c2.Kind == let.Read && c2.Label == c.Label && commTr[z] >= commTr[z2] {
+					vs.Addf(violation.Property2, "Property 2",
+						"label %s: write in transfer %d, read by %s in transfer %d",
+						a.Sys.Label(c.Label).Name, commTr[z], a.Sys.Task(c2.Task).Name, commTr[z2])
 				}
 			}
 		}
 	}
 
-	// Property 2: per label, the write strictly precedes every read.
-	for z, c := range a.Comms {
-		if c.Kind != let.Write {
-			continue
-		}
-		for z2, c2 := range a.Comms {
-			if c2.Kind == let.Read && c2.Label == c.Label && commTr[z] >= commTr[z2] {
-				return fmt.Errorf("dma: Property 2 violated for label %s: write in transfer %d, read by %s in transfer %d",
-					a.Sys.Label(c.Label).Name, commTr[z], a.Sys.Task(c2.Task).Name, commTr[z2])
-			}
-		}
-	}
-
 	// Constraint 9 at s0.
-	for tid, g := range gamma {
+	for _, tid := range sortedTaskIDs(gamma) {
+		g := gamma[tid]
 		if l := Latency(a, cm, sched, 0, tid, PerTaskReadiness); l > g {
-			return fmt.Errorf("dma: Constraint 9 violated for task %s: lambda=%v > gamma=%v",
-				a.Sys.Task(tid).Name, l, g)
+			vs.Addf(violation.Deadline, "Constraint 9",
+				"task %s: lambda=%v > gamma=%v", a.Sys.Task(tid).Name, l, g)
 		}
 	}
 
 	// Constraint 10 between consecutive instants and across the
 	// hyperperiod boundary.
-	instants := a.Instants()
-	for i, t1 := range instants {
-		var next timeutil.Time
-		if i+1 < len(instants) {
-			next = instants[i+1]
-		} else {
-			next = a.H // instants repeat at H with the s0 pattern
-		}
-		if d := sched.Duration(a, cm, t1); d > next-t1 {
-			return fmt.Errorf("dma: Constraint 10 violated: communications at t=%v take %v but the next instant is at %v",
-				t1, d, next)
+	for _, w := range a.Windows() {
+		if d := sched.Duration(a, cm, w.Start); d > w.End-w.Start {
+			vs.Addf(violation.Property3, "Constraint 10",
+				"communications at t=%v take %v but the next instant is at %v", w.Start, d, w.End)
 		}
 	}
-	return nil
+	return vs
 }
 
 // checkContiguous verifies that the labels of one (induced) transfer occupy
@@ -173,4 +189,15 @@ func checkContiguous(a *let.Analysis, layout *Layout, tr Transfer) error {
 		}
 	}
 	return nil
+}
+
+// sortedTaskIDs returns the keys of gamma in increasing order, so the
+// violation list is deterministic.
+func sortedTaskIDs(gamma Deadlines) []model.TaskID {
+	out := make([]model.TaskID, 0, len(gamma))
+	for id := range gamma {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -315,6 +315,27 @@ func (a *Analysis) ActiveAt(t timeutil.Time) []int { return a.activeAt[t] }
 // Activations returns the sorted activation instants of communication z.
 func (a *Analysis) Activations(z int) []timeutil.Time { return a.act[z] }
 
+// Window is one interval between consecutive communication instants:
+// transfers issued at Start must complete by End (Property 3 /
+// Constraint 10). The last window ends at H, where the s0 pattern repeats.
+type Window struct {
+	Start, End timeutil.Time
+}
+
+// Windows returns the consecutive (instant, next instant) pairs of T*,
+// including the wrap-around of the final instant to the hyperperiod H.
+func (a *Analysis) Windows() []Window {
+	out := make([]Window, len(a.instants))
+	for i, t := range a.instants {
+		next := a.H
+		if i+1 < len(a.instants) {
+			next = a.instants[i+1]
+		}
+		out[i] = Window{Start: t, End: next}
+	}
+	return out
+}
+
 // GroupsFor implements Algorithm 1 (Compute_LETGROUP): the LET writes
 // G^W(t, tau_i) and reads G^R(t, tau_i) required by task ti at instant t.
 // Both slices contain indices into Comms and are sorted.

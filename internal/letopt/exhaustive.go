@@ -1,0 +1,254 @@
+package letopt
+
+import (
+	"fmt"
+	"math"
+
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/model"
+	"letdma/internal/ordered"
+)
+
+// ExhaustiveResult is the outcome of a brute-force enumeration of every
+// (memory layout, transfer schedule) pair of a system. It is the ground
+// truth the MILP and the combinatorial heuristic are differentially
+// checked against: on any instance where Exhaustive is tractable, the
+// MILP optimum must equal Objective exactly and no heuristic may beat it.
+type ExhaustiveResult struct {
+	// Feasible reports whether any candidate passed dma.Validate.
+	Feasible bool
+	// Objective is the best objective over all feasible candidates
+	// (transfer count for MinTransfers, max lambda_i/T_i for
+	// MinDelayRatio, 0 for NoObjective). Infinite when infeasible.
+	Objective float64
+	// Layout and Sched are one optimal witness (first found in the
+	// deterministic enumeration order), nil when infeasible.
+	Layout *dma.Layout
+	Sched  *dma.Schedule
+	// Candidates counts the (layout, schedule) pairs enumerated.
+	Candidates int64
+}
+
+// ExhaustiveMaxCandidates is the default tractability budget: the
+// enumeration refuses instances whose candidate count estimate exceeds
+// it, so differential tests cannot accidentally run for hours.
+const ExhaustiveMaxCandidates = 500_000
+
+// fubini returns the number of ordered set partitions of n elements
+// (a(0)=1, 1, 3, 13, 75, 541, 4683, ...): the number of distinct
+// transfer schedules over n communications before layout choice.
+func fubini(n int) int64 {
+	// a(n) = sum_{k=1..n} C(n,k) * a(n-k)
+	a := make([]int64, n+1)
+	a[0] = 1
+	for i := 1; i <= n; i++ {
+		binom := int64(1)
+		for k := 1; k <= i; k++ {
+			binom = binom * int64(i-k+1) / int64(k)
+			a[i] += binom * a[i-k]
+		}
+	}
+	return a[n]
+}
+
+func factorial(n int) int64 {
+	out := int64(1)
+	for i := 2; i <= n; i++ {
+		out *= int64(i)
+	}
+	return out
+}
+
+// ExhaustiveCandidates estimates the number of (layout, schedule)
+// candidates the enumeration would visit: the product over memories of
+// the permutations of their required objects, times the number of
+// ordered partitions of C(s0). Returns math.MaxInt64 on overflow.
+func ExhaustiveCandidates(a *let.Analysis) int64 {
+	total := fubini(a.NumComms())
+	req := dma.RequiredObjects(a)
+	for _, m := range ordered.Keys(req) {
+		f := factorial(len(req[m]))
+		if total > math.MaxInt64/f {
+			return math.MaxInt64
+		}
+		total *= f
+	}
+	return total
+}
+
+// ExhaustiveTractable reports whether the instance fits the given
+// candidate budget (0 selects ExhaustiveMaxCandidates).
+func ExhaustiveTractable(a *let.Analysis, budget int64) bool {
+	if budget <= 0 {
+		budget = ExhaustiveMaxCandidates
+	}
+	return ExhaustiveCandidates(a) <= budget
+}
+
+// Exhaustive enumerates every layout permutation of every memory and
+// every ordered partition of C(s0) into transfers, validates each pair
+// with dma.Validate, and returns the true optimum. It refuses instances
+// whose candidate estimate exceeds budget (0 = ExhaustiveMaxCandidates).
+//
+// The enumeration order is deterministic, so the witness solution is a
+// pure function of the instance.
+func Exhaustive(a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objective, budget int64) (*ExhaustiveResult, error) {
+	if !ExhaustiveTractable(a, budget) {
+		if budget <= 0 {
+			budget = ExhaustiveMaxCandidates
+		}
+		return nil, fmt.Errorf("letopt: exhaustive search intractable: ~%d candidates exceed budget %d",
+			ExhaustiveCandidates(a), budget)
+	}
+	req := dma.RequiredObjects(a)
+	mems := ordered.Keys(req)
+	scheds := orderedPartitionsAll(a)
+
+	res := &ExhaustiveResult{Objective: math.Inf(1)}
+	var walk func(idx int, layout *dma.Layout)
+	walk = func(idx int, layout *dma.Layout) {
+		if idx == len(mems) {
+			for _, sched := range scheds {
+				res.Candidates++
+				if err := dma.Validate(a, cm, layout, sched, gamma); err != nil {
+					continue
+				}
+				var val float64
+				switch obj {
+				case dma.MinTransfers:
+					val = float64(sched.NumTransfers())
+				case dma.MinDelayRatio:
+					val = dma.MaxLatencyRatio(a, cm, sched, dma.PerTaskReadiness)
+				}
+				if !res.Feasible || val < res.Objective {
+					res.Objective = val
+					res.Layout = cloneLayoutMems(layout, mems)
+					res.Sched = sched
+				}
+				res.Feasible = true
+			}
+			return
+		}
+		m := mems[idx]
+		objs := req[m]
+		perm := make([]dma.Object, len(objs))
+		used := make([]bool, len(objs))
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == len(objs) {
+				nl := cloneLayoutMems(layout, mems[:idx])
+				if err := nl.SetOrder(m, perm); err != nil {
+					panic(err) // perm is a permutation of distinct objects
+				}
+				walk(idx+1, nl)
+				return
+			}
+			for i := range objs {
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				perm[pos] = objs[i]
+				rec(pos + 1)
+				used[i] = false
+			}
+		}
+		rec(0)
+	}
+	walk(0, dma.NewLayout())
+	return res, nil
+}
+
+// cloneLayoutMems copies the orders of the given memories into a fresh
+// layout.
+func cloneLayoutMems(l *dma.Layout, mems []model.MemoryID) *dma.Layout {
+	nl := dma.NewLayout()
+	for _, m := range mems {
+		if err := nl.SetOrder(m, l.Order(m)); err != nil {
+			panic(err) // the source layout is already duplicate-free
+		}
+	}
+	return nl
+}
+
+// orderedPartitions enumerates every partition of the communications into
+// non-empty transfers, each block anchored on its smallest member (so
+// block contents are counted once; the validator rejects mixed-class or
+// non-contiguous ones later).
+func orderedPartitions(a *let.Analysis) []*dma.Schedule {
+	n := a.NumComms()
+	var out []*dma.Schedule
+	var rec func(remaining []int, cur []dma.Transfer)
+	rec = func(remaining []int, cur []dma.Transfer) {
+		if len(remaining) == 0 {
+			out = append(out, &dma.Schedule{Transfers: append([]dma.Transfer(nil), cur...)})
+			return
+		}
+		first := remaining[0]
+		rest := remaining[1:]
+		for mask := 0; mask < 1<<uint(len(rest)); mask++ {
+			tr := dma.Transfer{Comms: []int{first}}
+			var left []int
+			for i, z := range rest {
+				if mask&(1<<uint(i)) != 0 {
+					tr.Comms = append(tr.Comms, z)
+				} else {
+					left = append(left, z)
+				}
+			}
+			rec(left, append(cur, tr))
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	rec(all, nil)
+	return out
+}
+
+// orderedPartitionsAll covers every transfer order: orderedPartitions
+// fixes block contents, so permuting the blocks completes the
+// enumeration of ordered set partitions.
+func orderedPartitionsAll(a *let.Analysis) []*dma.Schedule {
+	base := orderedPartitions(a)
+	var out []*dma.Schedule
+	for _, s := range base {
+		for _, p := range permutations(len(s.Transfers)) {
+			ns := &dma.Schedule{}
+			for _, i := range p {
+				ns.Transfers = append(ns.Transfers, s.Transfers[i])
+			}
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+// permutations returns all permutations of 0..n-1 in a deterministic
+// order.
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := k; i < n; i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			rec(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -11,99 +11,6 @@ import (
 	"letdma/internal/model"
 )
 
-func cloneLayout(l *dma.Layout, mems []model.MemoryID) *dma.Layout {
-	nl := dma.NewLayout()
-	for _, m := range mems {
-		if err := nl.SetOrder(m, l.Order(m)); err != nil {
-			panic(err)
-		}
-	}
-	return nl
-}
-
-// orderedPartitions enumerates every ordered partition of the
-// communications into non-empty transfers (the validator rejects
-// mixed-class or non-contiguous ones).
-func orderedPartitions(a *let.Analysis) []*dma.Schedule {
-	n := a.NumComms()
-	var out []*dma.Schedule
-	var rec func(remaining []int, cur []dma.Transfer)
-	rec = func(remaining []int, cur []dma.Transfer) {
-		if len(remaining) == 0 {
-			s := &dma.Schedule{Transfers: append([]dma.Transfer(nil), cur...)}
-			out = append(out, s)
-			return
-		}
-		// The first remaining element anchors the next transfer (avoids
-		// counting permutations of identical partitions within a slot).
-		first := remaining[0]
-		rest := remaining[1:]
-		// Choose any subset of rest to join it.
-		for mask := 0; mask < 1<<uint(len(rest)); mask++ {
-			tr := dma.Transfer{Comms: []int{first}}
-			var left []int
-			for i, z := range rest {
-				if mask&(1<<uint(i)) != 0 {
-					tr.Comms = append(tr.Comms, z)
-				} else {
-					left = append(left, z)
-				}
-			}
-			rec(left, append(cur, tr))
-		}
-	}
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	rec(all, nil)
-	return out
-}
-
-// orderedPartitionsAll covers every transfer order: orderedPartitions
-// anchors each block on its smallest member (fixing contents), so block
-// permutations complete the enumeration.
-func orderedPartitionsAll(a *let.Analysis) []*dma.Schedule {
-	base := orderedPartitions(a)
-	var out []*dma.Schedule
-	for _, s := range base {
-		perms := permutations(len(s.Transfers))
-		for _, p := range perms {
-			ns := &dma.Schedule{}
-			for _, i := range p {
-				ns.Transfers = append(ns.Transfers, s.Transfers[i])
-			}
-			out = append(out, ns)
-		}
-	}
-	return out
-}
-
-func permutations(n int) [][]int {
-	if n == 0 {
-		return [][]int{{}}
-	}
-	var out [][]int
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	var rec func(k int)
-	rec = func(k int) {
-		if k == n {
-			out = append(out, append([]int(nil), idx...))
-			return
-		}
-		for i := k; i < n; i++ {
-			idx[k], idx[i] = idx[i], idx[k]
-			rec(k + 1)
-			idx[k], idx[i] = idx[i], idx[k]
-		}
-	}
-	rec(0)
-	return out
-}
-
 // tinySystems builds the instances small enough for exhaustive search.
 func tinySystems(t *testing.T) map[string]*let.Analysis {
 	t.Helper()
@@ -126,6 +33,64 @@ func tinySystems(t *testing.T) map[string]*let.Analysis {
 	return out
 }
 
+// TestExhaustiveCounts pins the candidate estimate against the actual
+// enumeration, so the tractability guard cannot silently under-count.
+func TestExhaustiveCounts(t *testing.T) {
+	cm := dma.DefaultCostModel()
+	for name, a := range tinySystems(t) {
+		want := ExhaustiveCandidates(a)
+		res, err := Exhaustive(a, cm, nil, dma.MinTransfers, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Candidates != want {
+			t.Errorf("%s: enumerated %d candidates, estimate says %d", name, res.Candidates, want)
+		}
+	}
+}
+
+// TestExhaustiveTractableGuard: a generous instance estimate must refuse
+// to run under a tiny budget.
+func TestExhaustiveTractableGuard(t *testing.T) {
+	a := pairSystem(t)
+	if ExhaustiveTractable(a, 1) {
+		t.Fatalf("pair system claims tractable under budget 1")
+	}
+	if _, err := Exhaustive(a, dma.DefaultCostModel(), nil, dma.MinTransfers, 1); err == nil {
+		t.Fatalf("Exhaustive ran past its budget")
+	}
+}
+
+// TestExhaustiveWitnessValid: the returned witness must itself pass the
+// validator and achieve the reported objective.
+func TestExhaustiveWitnessValid(t *testing.T) {
+	cm := dma.DefaultCostModel()
+	for name, a := range tinySystems(t) {
+		for _, obj := range []dma.Objective{dma.MinTransfers, dma.MinDelayRatio} {
+			res, err := Exhaustive(a, cm, nil, obj, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, obj, err)
+			}
+			if !res.Feasible {
+				t.Fatalf("%s/%s: unexpectedly infeasible", name, obj)
+			}
+			if err := dma.Validate(a, cm, res.Layout, res.Sched, nil); err != nil {
+				t.Errorf("%s/%s: witness invalid: %v", name, obj, err)
+			}
+			var got float64
+			switch obj {
+			case dma.MinTransfers:
+				got = float64(res.Sched.NumTransfers())
+			case dma.MinDelayRatio:
+				got = dma.MaxLatencyRatio(a, cm, res.Sched, dma.PerTaskReadiness)
+			}
+			if math.Abs(got-res.Objective) > 1e-12 {
+				t.Errorf("%s/%s: witness achieves %g, reported %g", name, obj, got, res.Objective)
+			}
+		}
+	}
+}
+
 // TestMILPMatchesExhaustive verifies that the MILP optimum equals the true
 // optimum computed by brute force, for both objectives, on every tiny
 // instance.
@@ -136,12 +101,15 @@ func TestMILPMatchesExhaustive(t *testing.T) {
 	cm := dma.DefaultCostModel()
 	for name, a := range tinySystems(t) {
 		for _, obj := range []dma.Objective{dma.MinTransfers, dma.MinDelayRatio} {
-			want, feasible := exhaustiveAll(t, a, cm, nil, obj)
+			ex, err := Exhaustive(a, cm, nil, obj, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, obj, err)
+			}
 			res, err := Solve(a, cm, nil, obj, Options{MILP: milp.Params{TimeLimit: 120 * time.Second}})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, obj, err)
 			}
-			if !feasible {
+			if !ex.Feasible {
 				if res.Status != milp.StatusInfeasible {
 					t.Errorf("%s/%s: exhaustive says infeasible, MILP says %v", name, obj, res.Status)
 				}
@@ -157,80 +125,11 @@ func TestMILPMatchesExhaustive(t *testing.T) {
 			case dma.MinDelayRatio:
 				got = dma.MaxLatencyRatio(a, cm, res.Sched, dma.PerTaskReadiness)
 			}
-			if math.Abs(got-want) > 1e-9 {
-				t.Errorf("%s/%s: MILP=%g exhaustive=%g", name, obj, got, want)
+			if math.Abs(got-ex.Objective) > 1e-9 {
+				t.Errorf("%s/%s: MILP=%g exhaustive=%g", name, obj, got, ex.Objective)
 			}
 		}
 	}
-}
-
-// exhaustiveAll is exhaustive over orderedPartitionsAll (all block orders).
-func exhaustiveAll(t *testing.T, a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objective) (float64, bool) {
-	t.Helper()
-	req := dma.RequiredObjects(a)
-	mems := make([]model.MemoryID, 0, len(req))
-	for m := range req {
-		mems = append(mems, m)
-	}
-	for i := 0; i < len(mems); i++ {
-		for j := i + 1; j < len(mems); j++ {
-			if mems[j] < mems[i] {
-				mems[i], mems[j] = mems[j], mems[i]
-			}
-		}
-	}
-	scheds := orderedPartitionsAll(a)
-	best := math.Inf(1)
-	found := false
-	var layouts func(idx int, layout *dma.Layout)
-	layouts = func(idx int, layout *dma.Layout) {
-		if idx == len(mems) {
-			for _, sched := range scheds {
-				if err := dma.Validate(a, cm, layout, sched, gamma); err != nil {
-					continue
-				}
-				var val float64
-				switch obj {
-				case dma.MinTransfers:
-					val = float64(sched.NumTransfers())
-				case dma.MinDelayRatio:
-					val = dma.MaxLatencyRatio(a, cm, sched, dma.PerTaskReadiness)
-				}
-				if val < best {
-					best = val
-				}
-				found = true
-			}
-			return
-		}
-		m := mems[idx]
-		objs := req[m]
-		perm := make([]dma.Object, len(objs))
-		used := make([]bool, len(objs))
-		var rec func(pos int)
-		rec = func(pos int) {
-			if pos == len(objs) {
-				nl := cloneLayout(layout, mems[:idx])
-				if err := nl.SetOrder(m, perm); err != nil {
-					t.Fatal(err)
-				}
-				layouts(idx+1, nl)
-				return
-			}
-			for i := range objs {
-				if used[i] {
-					continue
-				}
-				used[i] = true
-				perm[pos] = objs[i]
-				rec(pos + 1)
-				used[i] = false
-			}
-		}
-		rec(0)
-	}
-	layouts(0, dma.NewLayout())
-	return best, found
 }
 
 // TestCombuptNotBetterThanExhaustive: the combinatorial solver is
@@ -242,8 +141,11 @@ func TestCombuptNotBetterThanExhaustive(t *testing.T) {
 	}
 	cm := dma.DefaultCostModel()
 	for name, a := range tinySystems(t) {
-		want, feasible := exhaustiveAll(t, a, cm, nil, dma.MinDelayRatio)
-		if !feasible {
+		ex, err := Exhaustive(a, cm, nil, dma.MinDelayRatio, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ex.Feasible {
 			continue
 		}
 		res, err := Solve(a, cm, nil, dma.MinDelayRatio, Options{MILP: milp.Params{TimeLimit: 60 * time.Second}})
@@ -251,8 +153,8 @@ func TestCombuptNotBetterThanExhaustive(t *testing.T) {
 			t.Fatal(err)
 		}
 		got := dma.MaxLatencyRatio(a, cm, res.Sched, dma.PerTaskReadiness)
-		if got < want-1e-9 {
-			t.Errorf("%s: MILP ratio %g beats exhaustive optimum %g — validator or objective bug", name, got, want)
+		if got < ex.Objective-1e-9 {
+			t.Errorf("%s: MILP ratio %g beats exhaustive optimum %g — validator or objective bug", name, got, ex.Objective)
 		}
 	}
 }

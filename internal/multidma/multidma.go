@@ -29,6 +29,7 @@ import (
 	"letdma/internal/model"
 	"letdma/internal/ordered"
 	"letdma/internal/timeutil"
+	"letdma/internal/violation"
 )
 
 // Assignment distributes the transfers of a base schedule over channels:
@@ -289,23 +290,29 @@ func maxTime(a, b timeutil.Time) timeutil.Time {
 
 // Validate checks that the assignment respects Property 3 at every
 // activation instant: every channel finishes the induced transfers of t1
-// before the next communication instant.
+// before the next communication instant. The error, when non-nil, wraps
+// the full violation.List (recover it with errors.As on
+// *violation.Error); ValidateAll returns the structured list directly.
 func Validate(a *let.Analysis, cm dma.CostModel, base *dma.Schedule, asg Assignment) error {
-	instants := a.Instants()
-	for i, t := range instants {
-		tl, err := Evaluate(a, cm, base, asg, t)
+	return ValidateAll(a, cm, base, asg).Err()
+}
+
+// ValidateAll is Validate returning every violated condition instead of
+// only the first. A malformed assignment (non-permutation, precedence
+// deadlock) yields a single channel violation, since no timeline can be
+// evaluated from it.
+func ValidateAll(a *let.Analysis, cm dma.CostModel, base *dma.Schedule, asg Assignment) violation.List {
+	var vs violation.List
+	for _, w := range a.Windows() {
+		tl, err := Evaluate(a, cm, base, asg, w.Start)
 		if err != nil {
-			return err
+			vs.Addf(violation.Channel, "Section VIII", "%v", err)
+			return vs
 		}
-		var next timeutil.Time
-		if i+1 < len(instants) {
-			next = instants[i+1]
-		} else {
-			next = a.H
-		}
-		if tl.Makespan > next-t {
-			return fmt.Errorf("multidma: transfers at t=%v take %v but the next instant is %v later", t, tl.Makespan, next-t)
+		if tl.Makespan > w.End-w.Start {
+			vs.Addf(violation.Property3, "Constraint 10",
+				"transfers at t=%v take %v but the next instant is %v later", w.Start, tl.Makespan, w.End-w.Start)
 		}
 	}
-	return nil
+	return vs
 }

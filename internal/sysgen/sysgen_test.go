@@ -1,0 +1,197 @@
+package sysgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"letdma/internal/let"
+	"letdma/internal/model"
+	"letdma/internal/timeutil"
+)
+
+// TestDeterministic: a scenario is a pure function of (seed, family).
+func TestDeterministic(t *testing.T) {
+	for _, f := range Families() {
+		for seed := int64(1); seed <= 5; seed++ {
+			a, err := Generate(seed, f)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", f, seed, err)
+			}
+			b, err := Generate(seed, f)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", f, seed, err)
+			}
+			var ja, jb bytes.Buffer
+			if err := a.Sys.ToJSON(&ja); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Sys.ToJSON(&jb); err != nil {
+				t.Fatal(err)
+			}
+			if ja.String() != jb.String() {
+				t.Errorf("%s/seed=%d: two generations differ", f, seed)
+			}
+		}
+	}
+}
+
+// TestFamiliesAnalyzable: every non-degenerate scenario passes
+// model.Validate and let.Analyze; single-core scenarios are rejected by
+// let.Analyze with the no-inter-core-labels error.
+func TestFamiliesAnalyzable(t *testing.T) {
+	for _, f := range Families() {
+		for seed := int64(1); seed <= 20; seed++ {
+			sc, err := Generate(seed, f)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", f, seed, err)
+			}
+			if err := sc.Sys.Validate(); err != nil {
+				t.Fatalf("%s: model.Validate: %v", sc.Name, err)
+			}
+			a, err := let.Analyze(sc.Sys)
+			if sc.ExpectNoComm {
+				if err == nil || !strings.Contains(err.Error(), "no inter-core") {
+					t.Errorf("%s: want clean no-inter-core rejection, got %v", sc.Name, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: let.Analyze: %v", sc.Name, err)
+			}
+			if a.NumComms() == 0 {
+				t.Errorf("%s: zero communications", sc.Name)
+			}
+			if err := a.SubsetProperty(); err != nil {
+				t.Errorf("%s: %v", sc.Name, err)
+			}
+		}
+	}
+}
+
+// TestStarsArePure: in the stars family no task both writes and reads an
+// inter-core label, so Property 1 is vacuous everywhere.
+func TestStarsArePure(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc, err := Generate(seed, Stars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := let.Analyze(sc.Sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		writes := make(map[model.TaskID]bool)
+		reads := make(map[model.TaskID]bool)
+		for _, c := range a.Comms {
+			if c.Kind == let.Write {
+				writes[c.Task] = true
+			} else {
+				reads[c.Task] = true
+			}
+		}
+		for id := range writes {
+			if reads[id] {
+				t.Errorf("%s: task %d both writes and reads", sc.Name, id)
+			}
+		}
+	}
+}
+
+// TestSaturatedCapacities: even seeds declare exactly the required bytes
+// per memory, odd seeds one byte less.
+func TestSaturatedCapacities(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		sc, err := Generate(seed, Saturated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := let.Analyze(sc.Sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		want := requiredBytes(a)
+		for m, bytes := range want {
+			slack := sc.Sys.MemoryCapacity(m) - bytes
+			if sc.ExpectInfeasible && slack != -1 {
+				t.Errorf("%s: memory %d slack %d, want -1", sc.Name, m, slack)
+			}
+			if !sc.ExpectInfeasible && slack != 0 {
+				t.Errorf("%s: memory %d slack %d, want 0", sc.Name, m, slack)
+			}
+		}
+		if (seed%2 != 0) != sc.ExpectInfeasible {
+			t.Errorf("%s: ExpectInfeasible=%v for seed %d", sc.Name, sc.ExpectInfeasible, seed)
+		}
+	}
+}
+
+// TestExtremesSizes: the extremes family actually emits both 1-byte and
+// jumbo labels across a seed range, and never a zero-size one (the model
+// forbids them — the floor of the family is exactly one byte).
+func TestExtremesSizes(t *testing.T) {
+	sawTiny, sawJumbo := false, false
+	for seed := int64(1); seed <= 30; seed++ {
+		sc, err := Generate(seed, Extremes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range sc.Sys.Labels {
+			if l.Size <= 0 {
+				t.Fatalf("%s: label %s has non-positive size %d", sc.Name, l.Name, l.Size)
+			}
+			if l.Size == 1 {
+				sawTiny = true
+			}
+			if l.Size >= 256<<10 {
+				sawJumbo = true
+			}
+		}
+	}
+	if !sawTiny || !sawJumbo {
+		t.Errorf("extremes family never hit an extreme: tiny=%v jumbo=%v", sawTiny, sawJumbo)
+	}
+}
+
+// TestZeroSizeLabelRejected documents why no family can generate a
+// zero-size label: the model rejects it at construction.
+func TestZeroSizeLabelRejected(t *testing.T) {
+	sys := model.NewSystem(2)
+	w := sys.MustAddTask("w", timeutil.Milliseconds(10), 0, 0)
+	r := sys.MustAddTask("r", timeutil.Milliseconds(10), 0, 1)
+	if _, err := sys.AddLabel("z", 0, w, r); err == nil {
+		t.Fatal("zero-size label accepted by the model")
+	}
+	if _, err := sys.AddLabel("n", -4, w, r); err == nil {
+		t.Fatal("negative-size label accepted by the model")
+	}
+}
+
+// TestGenerateNCycles: GenerateN covers every family round-robin and
+// advances the seed every full cycle.
+func TestGenerateNCycles(t *testing.T) {
+	n := 2*len(Families()) + 1
+	scs, err := GenerateN(7, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != n {
+		t.Fatalf("got %d scenarios, want %d", len(scs), n)
+	}
+	fams := Families()
+	for i, sc := range scs {
+		if sc.Family != fams[i%len(fams)] {
+			t.Errorf("scenario %d: family %s, want %s", i, sc.Family, fams[i%len(fams)])
+		}
+		if want := int64(7 + i/len(fams)); sc.Seed != want {
+			t.Errorf("scenario %d: seed %d, want %d", i, sc.Seed, want)
+		}
+	}
+}
+
+// TestUnknownFamily: Generate rejects unknown family names.
+func TestUnknownFamily(t *testing.T) {
+	if _, err := Generate(1, Family("nope")); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package verify
+
+import (
+	"testing"
+	"time"
+
+	"letdma/internal/let"
+	"letdma/internal/sysgen"
+)
+
+// fuzzFamily folds an arbitrary fuzzed integer onto a generator family.
+func fuzzFamily(famIdx int64) sysgen.Family {
+	fams := sysgen.Families()
+	n := int64(len(fams))
+	return fams[((famIdx%n)+n)%n]
+}
+
+// FuzzSolveRoundTrip is the full differential round trip under the Go
+// fuzzer: generate a scenario from the fuzzed (seed, family), solve it
+// with every tractable path, and require zero oracle violations and
+// zero cross-solver mismatches. Failures reproduce with
+// `letdma fuzz -seed N -n 1` restricted to the named family, or by
+// re-running the corpus file.
+func FuzzSolveRoundTrip(f *testing.F) {
+	for _, fam := range sysgen.Families() {
+		var famIdx int64
+		for i, known := range sysgen.Families() {
+			if known == fam {
+				famIdx = int64(i)
+			}
+		}
+		f.Add(int64(1), famIdx)
+	}
+	f.Add(int64(42), int64(0))
+	opts := Options{
+		MILPTimeLimit:    2 * time.Second,
+		MILPMaxComms:     4,
+		ExhaustiveBudget: 2_000,
+		SimHyperperiods:  1,
+	}
+	f.Fuzz(func(t *testing.T, seed, famIdx int64) {
+		sc, err := sysgen.Generate(seed, fuzzFamily(famIdx))
+		if err != nil {
+			t.Fatalf("sysgen: %v", err)
+		}
+		rep := CheckScenario(sc, opts)
+		if len(rep.Violations) != 0 {
+			t.Fatalf("%s: %d violations:\n%s", sc.Name, len(rep.Violations), rep.Violations)
+		}
+	})
+}
+
+// FuzzAnalyzeInvariants fuzzes only the analysis layer — much faster per
+// input than the round trip, so the nightly budget covers far more
+// (seed, family) points: the skip rules, C(t) subset property and Eq. (3)
+// hyperperiods must hold on every generated system.
+func FuzzAnalyzeInvariants(f *testing.F) {
+	for i := range sysgen.Families() {
+		f.Add(int64(1), int64(i))
+		f.Add(int64(17), int64(i))
+	}
+	f.Fuzz(func(t *testing.T, seed, famIdx int64) {
+		sc, err := sysgen.Generate(seed, fuzzFamily(famIdx))
+		if err != nil {
+			t.Fatalf("sysgen: %v", err)
+		}
+		a, err := let.Analyze(sc.Sys)
+		if sc.ExpectNoComm {
+			if err == nil {
+				t.Fatalf("%s: degenerate system analyzed", sc.Name)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if vs := CheckAnalysis(a); len(vs) != 0 {
+			t.Fatalf("%s: %s", sc.Name, vs)
+		}
+		if err := a.SubsetProperty(); err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+	})
+}
