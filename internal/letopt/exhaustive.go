@@ -38,7 +38,12 @@ const ExhaustiveMaxCandidates = 500_000
 // fubini returns the number of ordered set partitions of n elements
 // (a(0)=1, 1, 3, 13, 75, 541, 4683, ...): the number of distinct
 // transfer schedules over n communications before layout choice.
+// Saturates at math.MaxInt64: a(19) ~ 5.5e19 already exceeds int64,
+// and anything that large exceeds every enumeration budget anyway.
 func fubini(n int) int64 {
+	if n >= 19 {
+		return math.MaxInt64
+	}
 	// a(n) = sum_{k=1..n} C(n,k) * a(n-k)
 	a := make([]int64, n+1)
 	a[0] = 1

@@ -49,6 +49,29 @@ func TestExhaustiveCounts(t *testing.T) {
 	}
 }
 
+// TestFubiniSaturates pins the known small values and checks that the
+// count saturates (instead of wrapping negative) once the true Fubini
+// number exceeds int64 — a wrapped count would make huge instances look
+// tractable and send Exhaustive materializing ~1e20 schedules.
+func TestFubiniSaturates(t *testing.T) {
+	want := []int64{1, 1, 3, 13, 75, 541, 4683, 47293, 545835}
+	for n, w := range want {
+		if got := fubini(n); got != w {
+			t.Errorf("fubini(%d) = %d, want %d", n, got, w)
+		}
+	}
+	for n := 0; n <= 30; n++ {
+		if got := fubini(n); got <= 0 {
+			t.Errorf("fubini(%d) = %d, wrapped non-positive", n, got)
+		}
+	}
+	for _, n := range []int{19, 21, 24, 30} {
+		if got := fubini(n); got != math.MaxInt64 {
+			t.Errorf("fubini(%d) = %d, want saturation at MaxInt64", n, got)
+		}
+	}
+}
+
 // TestExhaustiveTractableGuard: a generous instance estimate must refuse
 // to run under a tiny budget.
 func TestExhaustiveTractableGuard(t *testing.T) {

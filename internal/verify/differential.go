@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"sort"
 	"strings"
 	"time"
 
@@ -41,7 +42,8 @@ type Options struct {
 	// when deriving the data-acquisition deadlines gamma_i via response
 	// time analysis (as in the paper's Section VII campaigns). When the
 	// RTA cannot grant the share, the harness falls back to unconstrained
-	// deadlines. <= 0 disables deadlines entirely. Default 0.2.
+	// deadlines. Negative disables deadlines entirely; 0 selects the
+	// default of 0.2.
 	Alpha float64
 	// Objectives to cross-check. Default OBJ-DMAT and OBJ-DEL.
 	Objectives []dma.Objective
@@ -260,10 +262,16 @@ func checkSim(a *let.Analysis, cm dma.CostModel, sched *dma.Schedule, hyperperio
 		return vs
 	}
 	for _, task := range a.Sys.Tasks {
-		for rel, lat := range res.LatencyAt[task.ID] {
+		byRel := res.LatencyAt[task.ID]
+		rels := make([]timeutil.Time, 0, len(byRel))
+		for rel := range byRel {
+			rels = append(rels, rel)
+		}
+		sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
+		for _, rel := range rels {
 			t0 := timeutil.Time(int64(rel) % int64(a.H))
 			want := dma.Latency(a, cm, sched, t0, task.ID, dma.PerTaskReadiness)
-			if lat != want {
+			if lat := byRel[rel]; lat != want {
 				vs.Addf(violation.Simulation, "Section V",
 					"task %s released at %v: simulated latency %v, analytic %v", task.Name, rel, lat, want)
 			}
