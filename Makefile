@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet letvet
+.PHONY: all build test race lint fmt vet letvet bench
 
 all: build lint test
 
@@ -26,3 +26,8 @@ vet:
 
 letvet:
 	$(GO) run ./cmd/letvet ./...
+
+# Solver benchmarks as run by the CI bench job, plus the JSON artifact.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelBnB|BenchmarkWarmStartBnB' -benchtime 1x -count 3 . | tee bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_milp.json bench.txt

@@ -1,0 +1,142 @@
+// Command benchjson converts the text output of `go test -bench` into a
+// small JSON document, so CI can archive solver benchmarks (LP iteration
+// counts, warm-probe hits, node counts) as a machine-readable artifact
+// next to the human-readable benchstat diff.
+//
+// Usage:
+//
+//	go test -bench BenchmarkWarmStartBnB -run '^$' . | benchjson -o BENCH_milp.json
+//	benchjson bench.txt
+//
+// The parser understands the standard benchmark line format
+//
+//	BenchmarkName/sub-8   	      10	 123456 ns/op	  42.0 lp_iters
+//
+// plus the context header lines (goos, goarch, pkg, cpu). Unknown lines
+// are ignored, so the tool is safe to run on full `go test` transcripts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmarks and the
+	// trailing -GOMAXPROCS suffix, exactly as printed by the harness.
+	Name string `json:"name"`
+	// Runs is b.N for the reported measurement.
+	Runs int64 `json:"runs"`
+	// Metrics maps unit -> value for every "value unit" pair on the line
+	// (ns/op, B/op, allocs/op and any b.ReportMetric custom units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// Context holds the header key/value lines (goos, goarch, pkg, cpu).
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks lists results in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// contextKeys are the `go test -bench` header lines worth preserving.
+var contextKeys = []string{"goos", "goarch", "pkg", "cpu"}
+
+// parseLine parses one benchmark result line, returning ok=false for
+// lines that are not benchmark results.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	// A result line's second field is b.N; "BenchmarkFoo" alone (verbose
+	// mode announcement) or RUN/PASS decoration is not a result.
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// parse reads a full `go test -bench` transcript.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+			continue
+		}
+		for _, key := range contextKeys {
+			if rest, ok := strings.CutPrefix(line, key+": "); ok {
+				if doc.Context == nil {
+					doc.Context = map[string]string{}
+				}
+				doc.Context[key] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "write JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if fs.NArg() > 1 {
+		return fmt.Errorf("benchjson: at most one input file, got %d", fs.NArg())
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := parse(in)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, data, 0o644)
+	}
+	_, err = stdout.Write(data)
+	return err
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

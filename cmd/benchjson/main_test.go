@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: letdma
+cpu: Test CPU @ 2.00GHz
+BenchmarkWarmStartBnB/warm-8         	       2	 512345678 ns/op	     12345 lp_iters	        37 warm_hits
+BenchmarkWarmStartBnB/cold-8         	       1	 912345678 ns/op	     23456 lp_iters	         0 warm_hits
+BenchmarkParallelBnB/workers1-8      	       1	1212345678 ns/op	       128 nodes
+BenchmarkDoubleBuffer-8              	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+--- BENCH: BenchmarkMILPFullWaters-8
+    bench_test.go:206: MILP status: optimal
+PASS
+ok  	letdma	42.000s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(doc.Benchmarks), 4; got != want {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", got, want, doc.Benchmarks)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] != "Test CPU @ 2.00GHz" {
+		t.Fatalf("context not captured: %+v", doc.Context)
+	}
+	warm := doc.Benchmarks[0]
+	if warm.Name != "BenchmarkWarmStartBnB/warm-8" || warm.Runs != 2 {
+		t.Fatalf("first benchmark misparsed: %+v", warm)
+	}
+	if warm.Metrics["lp_iters"] != 12345 || warm.Metrics["warm_hits"] != 37 {
+		t.Fatalf("custom metrics misparsed: %+v", warm.Metrics)
+	}
+	if doc.Benchmarks[3].Metrics["allocs/op"] != 0 {
+		t.Fatalf("memory metrics misparsed: %+v", doc.Benchmarks[3].Metrics)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	in := "BenchmarkAnnouncedOnly\nnot a benchmark\nBenchmarkBad 	 x ns/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("non-result lines parsed as benchmarks: %+v", doc.Benchmarks)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-o", out}, strings.NewReader(sample), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("round trip lost benchmarks: %+v", doc.Benchmarks)
+	}
+}
+
+func TestRunRejectsExtraArgs(t *testing.T) {
+	if err := run([]string{"a", "b"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("extra positional arguments accepted")
+	}
+}

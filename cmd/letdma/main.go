@@ -129,6 +129,7 @@ type common struct {
 	timeout *time.Duration
 	slots   *int
 	workers *int
+	milplog *bool
 }
 
 func commonFlags(fs *flag.FlagSet) *common {
@@ -141,6 +142,7 @@ func commonFlags(fs *flag.FlagSet) *common {
 		timeout: fs.Duration("timeout", 60*time.Second, "MILP time limit"),
 		slots:   fs.Int("slots", 0, "MILP transfer slots (0 = |C(s0)|)"),
 		workers: fs.Int("workers", 0, "worker goroutines for experiment fan-out and branch-and-bound (0 = sequential; results are identical for every count)"),
+		milplog: fs.Bool("milplog", false, "write MILP solver progress and kernel counters (warm hits, cold fallbacks, phase-1 iterations, refactorizations) to stderr"),
 	}
 }
 
@@ -186,14 +188,18 @@ func (c *common) config() (experiments.Config, error) {
 	} else if *c.solver != "comb" {
 		return experiments.Config{}, fmt.Errorf("unknown solver %q", *c.solver)
 	}
-	return experiments.Config{
+	cfg := experiments.Config{
 		Alpha:         *c.alpha,
 		Objective:     obj,
 		Solver:        solver,
 		MILPTimeLimit: *c.timeout,
 		Slots:         *c.slots,
 		Workers:       *c.workers,
-	}, nil
+	}
+	if *c.milplog {
+		cfg.MILPLog = os.Stderr
+	}
+	return cfg, nil
 }
 
 func cmdFig2(args []string) error {

@@ -71,6 +71,10 @@ type Config struct {
 	CostModel *dma.CostModel
 	// CPUCostModel defaults to dma.CPUCopyCostModel().
 	CPUCostModel *dma.CostModel
+	// MILPLog, if non-nil, receives the MILP solver's progress lines,
+	// including the per-solve kernel counters (warm-probe hits, cold
+	// fallbacks, phase-1 iterations, refactorizations).
+	MILPLog io.Writer
 }
 
 func (c *Config) fill() {
@@ -132,7 +136,7 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 	if cfg.Solver == SolverMILP {
 		res, err := letopt.Solve(a, cm, gamma, cfg.Objective, letopt.Options{
 			Slots:      cfg.Slots,
-			MILP:       milp.Params{TimeLimit: cfg.MILPTimeLimit, Workers: cfg.Workers},
+			MILP:       milp.Params{TimeLimit: cfg.MILPTimeLimit, Workers: cfg.Workers, Log: cfg.MILPLog},
 			WarmLayout: comb.Layout,
 			WarmSched:  comb.Sched,
 		})

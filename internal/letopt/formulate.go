@@ -538,6 +538,30 @@ func (f *formulation) setObjective() {
 	}
 }
 
+// checkCapacity returns an error when a declared memory capacity (Section
+// III-A) cannot hold the label copies the analysis requires that memory to
+// host. The formulation places every required object unconditionally
+// (Constraints 3-5 position them all), so capacities reduce to a constant
+// feasibility check rather than a constraint family; without this gate the
+// solver would return layouts that dma.Validate rejects.
+func (f *formulation) checkCapacity() error {
+	for _, mem := range f.memories() {
+		capBytes := f.a.Sys.MemoryCapacity(mem)
+		if capBytes <= 0 {
+			continue
+		}
+		var bytes int64
+		for _, o := range f.objsOf[mem] {
+			bytes += f.a.Sys.Label(o.Label).Size
+		}
+		if bytes > capBytes {
+			return fmt.Errorf("letopt: memory %d needs %d bytes for label copies but holds %d",
+				mem, bytes, capBytes)
+		}
+	}
+	return nil
+}
+
 // checkGapSanity returns an error when even an empty schedule cannot fit a
 // pattern's copy bytes in its gap (fast infeasibility signal).
 func (f *formulation) checkGapSanity() error {

@@ -210,6 +210,53 @@ func TestGapSanityShortCircuit(t *testing.T) {
 	}
 }
 
+// TestCapacityShortCircuit pins the Section III-A capacity gate: the
+// formulation places every required object unconditionally, so a memory one
+// byte too small for its required label copies must yield StatusInfeasible
+// up front — not an "optimal" layout that dma.Validate then rejects.
+func TestCapacityShortCircuit(t *testing.T) {
+	build := func() (*let.Analysis, *model.System) {
+		sys := model.NewSystem(2)
+		p1 := sys.MustAddTask("p1", ms(10), timeutil.Millisecond, 0)
+		p2 := sys.MustAddTask("p2", ms(10), timeutil.Millisecond, 0)
+		c := sys.MustAddTask("c", ms(10), timeutil.Millisecond, 1)
+		sys.MustAddLabel("l1", 100, p1, c)
+		sys.MustAddLabel("l2", 200, p2, c)
+		sys.AssignRateMonotonicPriorities()
+		a, err := let.Analyze(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, sys
+	}
+	a, sys := build()
+	cm := dma.DefaultCostModel()
+	for mem, objs := range dma.RequiredObjects(a) {
+		var need int64
+		for _, o := range objs {
+			need += sys.Label(o.Label).Size
+		}
+		sys.SetMemoryCapacity(mem, need-1)
+		res, err := Solve(a, cm, nil, dma.NoObjective, Options{MILP: solverParams()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != milp.StatusInfeasible {
+			t.Fatalf("memory %d one byte short: status = %v, want infeasible", mem, res.Status)
+		}
+		sys.SetMemoryCapacity(mem, need)
+	}
+	// With every capacity at the exact requirement the instance is feasible
+	// again, and the solution passes the validator's capacity check.
+	res, err := Solve(a, cm, nil, dma.NoObjective, Options{MILP: solverParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sched == nil {
+		t.Fatalf("exact capacities: status = %v, want a solution", res.Status)
+	}
+}
+
 func TestSlotsCapRestrictsModel(t *testing.T) {
 	a := chainSystem(t)
 	cm := dma.DefaultCostModel()

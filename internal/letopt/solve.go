@@ -36,7 +36,13 @@ type Result struct {
 	BestBound float64
 	Gap       float64
 	Nodes     int
-	Runtime   time.Duration
+	// SimplexIters counts LP iterations (cold pivots plus warm-probe
+	// pivots) across the branch-and-bound search.
+	SimplexIters int
+	// Kernel aggregates the simplex-kernel counters: warm-probe hits, cold
+	// fallbacks, phase-1 iterations and refactorizations.
+	Kernel  milp.KernelStats
+	Runtime time.Duration
 	// ModelVars/ModelCons describe the formulation size.
 	ModelVars int
 	ModelCons int
@@ -51,6 +57,9 @@ func Solve(a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objec
 		return nil, err
 	}
 	if err := f.checkGapSanity(); err != nil {
+		return &Result{Status: milp.StatusInfeasible, ModelVars: f.m.NumVars(), ModelCons: f.m.NumCons()}, nil
+	}
+	if err := f.checkCapacity(); err != nil {
 		return &Result{Status: milp.StatusInfeasible, ModelVars: f.m.NumVars(), ModelCons: f.m.NumCons()}, nil
 	}
 
@@ -71,14 +80,16 @@ func Solve(a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objec
 		return nil, fmt.Errorf("letopt: %w", err)
 	}
 	res := &Result{
-		Status:    sol.Status,
-		Objective: sol.Obj,
-		BestBound: sol.BestBound,
-		Gap:       sol.Gap,
-		Nodes:     sol.Nodes,
-		Runtime:   sol.Runtime,
-		ModelVars: f.m.NumVars(),
-		ModelCons: f.m.NumCons(),
+		Status:       sol.Status,
+		Objective:    sol.Obj,
+		BestBound:    sol.BestBound,
+		Gap:          sol.Gap,
+		Nodes:        sol.Nodes,
+		SimplexIters: sol.SimplexIters,
+		Kernel:       sol.Kernel,
+		Runtime:      sol.Runtime,
+		ModelVars:    f.m.NumVars(),
+		ModelCons:    f.m.NumCons(),
 	}
 	if sol.X == nil {
 		return res, nil

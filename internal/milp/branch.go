@@ -64,6 +64,21 @@ type Params struct {
 	// WarmStart, if non-nil, is checked for feasibility and installed as
 	// the initial incumbent.
 	WarmStart []float64
+	// WarmBasis, if non-nil, seeds the root node's dual-simplex warm probe
+	// with a known basis — typically Solution.RootBasis from a previous
+	// solve of the same model shape. It is validated against the model; an
+	// invalid basis makes Solve return an error.
+	WarmBasis *Basis
+	// DisableWarmStart turns off the dual-simplex warm probes, forcing
+	// every node onto the cold two-phase path. Results are bit-identical
+	// either way; this exists for benchmarking and as an escape hatch.
+	DisableWarmStart bool
+	// WarmIterLimit bounds the dual-simplex pivots per warm probe before it
+	// falls back to the cold path; 0 means 300. Far-from-cutoff probes bail
+	// much earlier on the stall guard (see dualFathom), so the budget is
+	// really the patience granted to near-cutoff probes, and a few hundred
+	// pivots is still well below the cost of the cold solve a hit avoids.
+	WarmIterLimit int
 	// BranchPriority, if non-nil, gives per-variable branching priorities
 	// (higher = branch earlier). Among fractional integer variables, the
 	// highest priority tier is branched first; ties break on fractionality.
@@ -82,6 +97,13 @@ type Solution struct {
 	Nodes        int
 	SimplexIters int
 	Runtime      time.Duration
+	// Kernel aggregates the simplex-kernel counters (warm hits, cold
+	// fallbacks, phase-1 iterations, refactorizations) across the solve.
+	Kernel KernelStats
+	// RootBasis is the final basis of the root relaxation when it reached
+	// optimality (nil otherwise); feed it to Params.WarmBasis to warm-start
+	// a re-solve of the same model shape.
+	RootBasis *Basis
 }
 
 type bbNode struct {
@@ -89,6 +111,7 @@ type bbNode struct {
 	bound  float64 // parent LP relaxation objective (min sense)
 	depth  int
 	seq    int
+	pbasis *Basis // parent's optimal basis (nil: no warm probe)
 }
 
 // searchState is the search context shared by the sequential and the
@@ -96,17 +119,22 @@ type bbNode struct {
 // bounds after presolve, the integer variable set, bound-rounding data and
 // the current incumbent.
 type searchState struct {
-	m         *Model
-	p         Params
-	start     time.Time
-	deadline  time.Time
-	objSign   float64
-	lo0, hi0  []float64
-	intVars   []VarID
-	intObjGCD float64
-	objOffset float64
-	incumbent []float64
-	incObj    float64 // minimization objective of incumbent
+	m          *Model
+	minM       *Model // minimization form of m (== m unless Maximize)
+	p          Params
+	start      time.Time
+	deadline   time.Time
+	objSign    float64
+	lo0, hi0   []float64
+	intVars    []VarID
+	intObjGCD  float64
+	objOffset  float64
+	incumbent  []float64
+	incObj     float64 // minimization objective of incumbent
+	warm       bool    // dual-simplex warm probes enabled
+	warmBudget int     // pivot budget per warm probe
+	stats      KernelStats
+	rootBasis  *Basis
 }
 
 // prepSearch normalizes the parameters and builds the shared search state.
@@ -140,6 +168,30 @@ func prepSearch(m *Model, p Params, start time.Time) (*searchState, *Solution, e
 		st.incumbent = append([]float64(nil), p.WarmStart...)
 		st.incObj = st.minObj(st.incumbent)
 		logf(p.Log, "warm start accepted, obj=%.6g\n", st.objSign*st.incObj)
+	}
+	if p.WarmBasis != nil {
+		if err := p.WarmBasis.validate(len(m.Vars), len(m.Cons)); err != nil {
+			return nil, nil, fmt.Errorf("milp: warm basis rejected: %w", err)
+		}
+	}
+
+	// Minimization form, built once: solveLP and the warm probes are pure
+	// functions of it, so sharing one copy across nodes (and workers) is
+	// safe and keeps the per-node LP bit-identical to the historical
+	// per-call negation.
+	st.minM = m
+	if m.ObjSense == Maximize {
+		neg := *m
+		neg.Obj = Expr{}
+		for _, t := range m.Obj.Terms {
+			neg.Obj.Terms = append(neg.Obj.Terms, Term{Var: t.Var, Coef: -t.Coef})
+		}
+		st.minM = &neg
+	}
+	st.warm = !p.DisableWarmStart
+	st.warmBudget = p.WarmIterLimit
+	if st.warmBudget <= 0 {
+		st.warmBudget = 300
 	}
 
 	for _, v := range m.Vars {
@@ -204,7 +256,13 @@ func (st *searchState) tryIncumbent(x []float64) bool {
 // search exhausted the tree).
 func (st *searchState) finish(openBound float64, nodes, iters int, hitLimit bool) *Solution {
 	bestBound := math.Min(openBound, st.incObj)
-	sol := &Solution{Nodes: nodes, SimplexIters: iters, Runtime: time.Since(st.start)}
+	if st.stats.WarmHits > 0 && st.stats.ColdSolves > 0 {
+		st.stats.Phase1ItersSaved = st.stats.WarmHits * (st.stats.Phase1Iters / st.stats.ColdSolves)
+	}
+	sol := &Solution{
+		Nodes: nodes, SimplexIters: iters, Runtime: time.Since(st.start),
+		Kernel: st.stats, RootBasis: st.rootBasis,
+	}
 	switch {
 	case st.incumbent == nil && !hitLimit:
 		sol.Status = StatusInfeasible
@@ -226,6 +284,9 @@ func (st *searchState) finish(openBound float64, nodes, iters int, hitLimit bool
 	}
 	logf(st.p.Log, "done: status=%s obj=%.6g bound=%.6g gap=%.3g nodes=%d iters=%d in %v\n",
 		sol.Status, sol.Obj, sol.BestBound, sol.Gap, sol.Nodes, sol.SimplexIters, sol.Runtime)
+	logf(st.p.Log, "kernel: warm_attempts=%d warm_hits=%d cold_solves=%d cold_fallbacks=%d warm_iters=%d phase1_iters=%d phase1_saved=%d refactors=%d\n",
+		st.stats.WarmAttempts, st.stats.WarmHits, st.stats.ColdSolves, st.stats.ColdFallbacks,
+		st.stats.WarmIters, st.stats.Phase1Iters, st.stats.Phase1ItersSaved, st.stats.Refactorizations)
 	return sol
 }
 
@@ -243,7 +304,7 @@ func Solve(m *Model, p Params) (*Solution, error) {
 	nodes := 0
 	simplexIters := 0
 	seq := 0
-	stack := []*bbNode{{lo: st.lo0, hi: st.hi0, bound: math.Inf(-1), depth: 0, seq: seq}}
+	stack := []*bbNode{{lo: st.lo0, hi: st.hi0, bound: math.Inf(-1), depth: 0, seq: seq, pbasis: p.WarmBasis}}
 	hitLimit := false
 
 	openBound := func() float64 {
@@ -278,12 +339,16 @@ func Solve(m *Model, p Params) (*Solution, error) {
 			continue
 		}
 
-		res := solveLPmin(m, st.objSign, node.lo, node.hi, st.deadline)
+		nr := st.solveNode(node)
+		st.stats.add(nr.stats)
+		res := nr.lpSolution
 		simplexIters += res.iters
 		switch res.status {
 		case lpTimeLimit, lpIterLimit:
 			hitLimit = true
-		case lpInfeasible:
+		case lpCutoff, lpInfeasible:
+			// lpCutoff: the warm probe fathomed the node against the
+			// incumbent; the cold path would have pruned it after solving.
 			continue
 		case lpUnbounded:
 			if len(st.intVars) == 0 || node.depth == 0 {
@@ -296,6 +361,9 @@ func Solve(m *Model, p Params) (*Solution, error) {
 		}
 		if hitLimit {
 			break
+		}
+		if node.depth == 0 {
+			st.rootBasis = res.basis
 		}
 		lpObj := res.obj
 		if lpObj > st.incObj-1e-9 {
@@ -343,7 +411,7 @@ func Solve(m *Model, p Params) (*Solution, error) {
 				nh[branchVar] = newHi
 			}
 			seq++
-			return &bbNode{lo: nl, hi: nh, bound: lpObj, depth: node.depth + 1, seq: seq}
+			return &bbNode{lo: nl, hi: nh, bound: lpObj, depth: node.depth + 1, seq: seq, pbasis: res.basis}
 		}
 		down := mk(0, downHi, false)
 		up := mk(upLo, 0, true)
@@ -361,6 +429,71 @@ func Solve(m *Model, p Params) (*Solution, error) {
 		ob = openBound()
 	}
 	return st.finish(ob, nodes, simplexIters, hitLimit), nil
+}
+
+// coldSolve runs the unchanged two-phase simplex on the prebuilt
+// minimization form, including the objective constant so that LP bounds and
+// incumbent objectives compare directly. It is the authoritative path: every
+// expanded node's relaxation comes from here, warm probes or not.
+func (st *searchState) coldSolve(lo, hi []float64) lpSolution {
+	res := solveLP(st.minM, lo, hi, st.deadline)
+	if res.status == lpOptimal {
+		res.obj += st.objOffset
+	}
+	return res
+}
+
+// nodeResult is one node's relaxation outcome plus the kernel counters it
+// generated, returned separately so the engines can merge counters in
+// dispatch order (keeping them Workers-invariant).
+type nodeResult struct {
+	lpSolution
+	stats KernelStats
+}
+
+// solveNode resolves one node's relaxation. With a parent basis available it
+// first runs the dual-simplex warm probe, which either fathoms the node
+// (status lpCutoff or lpInfeasible) or defers to the cold path. It reads
+// searchState immutably plus incObj/incumbent, which the engines only write
+// between nodes (sequential) or between batches (epoch merge), so batch
+// members may run concurrently.
+func (st *searchState) solveNode(node *bbNode) nodeResult {
+	var nr nodeResult
+	probeIters := 0
+	if st.warm && node.pbasis != nil {
+		nr.stats.WarmAttempts++
+		incObj := math.Inf(1)
+		if st.incumbent != nil {
+			// The cold path prunes at incObj-1e-9; the extra relative
+			// margin on top of the probe's own (see dualFathom) keeps warm
+			// fathoming strictly inside the cold prune region.
+			incObj = st.incObj
+		}
+		out, iters, refs := warmProbe(st.minM, node.lo, node.hi, node.pbasis,
+			incObj, st.intObjGCD, st.objOffset, st.warmBudget, st.deadline)
+		nr.stats.WarmIters += iters
+		nr.stats.Refactorizations += refs
+		probeIters = iters
+		switch out {
+		case probeCutoff:
+			nr.stats.WarmHits++
+			nr.lpSolution = lpSolution{status: lpCutoff, iters: iters}
+			return nr
+		case probeInfeasible:
+			nr.stats.WarmHits++
+			nr.lpSolution = lpSolution{status: lpInfeasible, iters: iters}
+			return nr
+		case probeFallback:
+			nr.stats.ColdFallbacks++
+		}
+	}
+	res := st.coldSolve(node.lo, node.hi)
+	nr.stats.ColdSolves++
+	nr.stats.Phase1Iters += res.phase1Iters
+	nr.stats.Refactorizations += res.refactors
+	res.iters += probeIters
+	nr.lpSolution = res
+	return nr
 }
 
 // solveLPmin solves the relaxation in minimization sense, including the
@@ -422,6 +555,13 @@ func objIntegerStep(m *Model, objSign float64) float64 {
 			continue
 		}
 		if !isIntegral(c) {
+			return 0
+		}
+		// Above 2^53 float64 integers are not contiguous and the int64
+		// conversion below loses (or, past 2^63, implementation-defines)
+		// the value, so the gcd could come out too large and roundBoundUp
+		// would prune nodes containing the optimum. Forgo rounding instead.
+		if c > 1<<53 {
 			return 0
 		}
 		coefs = append(coefs, c)

@@ -22,9 +22,9 @@ const epochBatch = 16
 //     merge),
 //  2. sorts the open list by (relaxation bound, node sequence) and
 //     dispatches the first epochBatch nodes,
-//  3. solves the dispatched LP relaxations concurrently — solveLPmin is a
-//     pure function of (model, bounds), so each result is independent of
-//     which worker computes it — and
+//  3. resolves the dispatched nodes concurrently — solveNode is a pure
+//     function of (model, bounds, parent basis, dispatch-time incumbent),
+//     so each result is independent of which worker computes it — and
 //  4. merges the results strictly in dispatch order: incumbent updates,
 //     pruning of later batch members, and child creation all happen at
 //     this single merge point, never through a shared atomic.
@@ -44,7 +44,7 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 	nodes := 0
 	iters := 0
 	seq := 0
-	open := []*bbNode{{lo: st.lo0, hi: st.hi0, bound: math.Inf(-1), depth: 0, seq: seq}}
+	open := []*bbNode{{lo: st.lo0, hi: st.hi0, bound: math.Inf(-1), depth: 0, seq: seq, pbasis: p.WarmBasis}}
 	hitLimit := false
 
 	for len(open) > 0 && !hitLimit {
@@ -105,11 +105,16 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 			node, res := dispatched[i], results[i]
 			nodes++
 			iters += res.iters
+			st.stats.add(res.stats)
 			switch res.status {
 			case lpTimeLimit, lpIterLimit:
 				hitLimit = true
 				continue
-			case lpInfeasible:
+			case lpCutoff, lpInfeasible:
+				// lpCutoff: the warm probe fathomed the node against the
+				// incumbent as of dispatch time, which is never better than
+				// the merge-time incumbent — the cold path would have
+				// pruned it too.
 				continue
 			case lpUnbounded:
 				if len(st.intVars) == 0 || node.depth == 0 {
@@ -119,6 +124,9 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 					}, nil
 				}
 				continue
+			}
+			if node.depth == 0 {
+				st.rootBasis = res.basis
 			}
 			lpObj := res.obj
 			if lpObj > st.incObj-1e-9 {
@@ -150,7 +158,7 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 					nh[branchVar] = math.Floor(xf)
 				}
 				seq++
-				return &bbNode{lo: nl, hi: nh, bound: lpObj, depth: node.depth + 1, seq: seq}
+				return &bbNode{lo: nl, hi: nh, bound: lpObj, depth: node.depth + 1, seq: seq, pbasis: res.basis}
 			}
 			if xf-math.Floor(xf) <= 0.5 {
 				open = append(open, mk(false), mk(true))
@@ -175,16 +183,19 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 	return st.finish(ob, nodes, iters, hitLimit), nil
 }
 
-// solveBatch solves the LP relaxations of the dispatched nodes with up to
-// `workers` goroutines and returns the results indexed like the batch.
-func solveBatch(st *searchState, batch []*bbNode, workers int) []lpSolution {
-	results := make([]lpSolution, len(batch))
+// solveBatch resolves the dispatched nodes (warm probe plus cold solve as
+// needed; see solveNode) with up to `workers` goroutines and returns the
+// results indexed like the batch. solveNode only reads search state that is
+// written between batches, so concurrent execution is race-free and the
+// results are independent of which worker computes them.
+func solveBatch(st *searchState, batch []*bbNode, workers int) []nodeResult {
+	results := make([]nodeResult, len(batch))
 	if workers > len(batch) {
 		workers = len(batch)
 	}
 	if workers <= 1 {
 		for i, n := range batch {
-			results[i] = solveLPmin(st.m, st.objSign, n.lo, n.hi, st.deadline)
+			results[i] = st.solveNode(n)
 		}
 		return results
 	}
@@ -195,8 +206,7 @@ func solveBatch(st *searchState, batch []*bbNode, workers int) []lpSolution {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				n := batch[i]
-				results[i] = solveLPmin(st.m, st.objSign, n.lo, n.hi, st.deadline)
+				results[i] = st.solveNode(batch[i])
 			}
 		}()
 	}

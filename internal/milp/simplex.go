@@ -25,6 +25,10 @@ const (
 	lpUnbounded
 	lpIterLimit
 	lpTimeLimit
+	// lpCutoff: the warm dual-simplex probe proved the node's relaxation
+	// bound exceeds the incumbent cutoff, so the node is fathomed without a
+	// full solve. By weak duality the cold path would have pruned it too.
+	lpCutoff
 )
 
 // sparseCol is one column of the constraint matrix in sparse form.
@@ -60,6 +64,13 @@ type lpSolution struct {
 	x      []float64 // structural variable values (length nStruct)
 	obj    float64
 	iters  int
+	// phase1Iters is the portion of iters spent in phase 1 (cold path only).
+	phase1Iters int
+	// refactors counts basis-inverse refactorizations during the solve.
+	refactors int
+	// basis is the final simplex basis (set on lpOptimal), handed to child
+	// nodes as the dual-simplex warm start.
+	basis *Basis
 }
 
 // buildLP converts a model plus (possibly tightened) bounds into
@@ -111,12 +122,19 @@ func buildLP(m *Model, lo, hi []float64) *lpProblem {
 
 // simplexState carries the working state of the revised simplex.
 type simplexState struct {
-	p     *lpProblem
-	binv  [][]float64 // m x m explicit basis inverse
-	basis []int       // basic variable per row
-	state []int8      // per column
-	xval  []float64   // current value per column (basic and nonbasic)
-	ncols int         // total columns including artificials
+	p         *lpProblem
+	binv      [][]float64 // m x m explicit basis inverse
+	basis     []int       // basic variable per row
+	state     []int8      // per column
+	xval      []float64   // current value per column (basic and nonbasic)
+	ncols     int         // total columns including artificials
+	refactors int         // basis-inverse refactorizations performed
+	// certLo/certHi cache the certificate box (see certBox in warm.go).
+	certLo, certHi []float64
+	// pcost, when non-nil, replaces p.c for warm-probe pricing: costs with a
+	// tiny deterministic perturbation that breaks dual degeneracy (see
+	// warmProbe). Certificates always evaluate the true p.c.
+	pcost []float64
 }
 
 // solveLP runs the two-phase bounded simplex. deadline may be the zero time
@@ -193,15 +211,16 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpSolution {
 	// Phase 1.
 	st, it := s.iterate(phase1Cost, deadline)
 	totalIters += it
+	phase1Iters := it
 	if st == lpTimeLimit || st == lpIterLimit {
-		return lpSolution{status: st, iters: totalIters}
+		return lpSolution{status: st, iters: totalIters, phase1Iters: phase1Iters, refactors: s.refactors}
 	}
 	var p1 float64
 	for i := 0; i < p.m; i++ {
 		p1 += phase1Cost[s.basis[i]] * s.xval[s.basis[i]]
 	}
 	if p1 > 1e-6 {
-		return lpSolution{status: lpInfeasible, iters: totalIters}
+		return lpSolution{status: lpInfeasible, iters: totalIters, phase1Iters: phase1Iters, refactors: s.refactors}
 	}
 	// Pin artificials to zero for phase 2.
 	for j := p.n; j < s.ncols; j++ {
@@ -216,10 +235,10 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpSolution {
 	st, it = s.iterate(p.c, deadline)
 	totalIters += it
 	if st == lpTimeLimit || st == lpIterLimit {
-		return lpSolution{status: st, iters: totalIters}
+		return lpSolution{status: st, iters: totalIters, phase1Iters: phase1Iters, refactors: s.refactors}
 	}
 	if st == lpUnbounded {
-		return lpSolution{status: lpUnbounded, iters: totalIters}
+		return lpSolution{status: lpUnbounded, iters: totalIters, phase1Iters: phase1Iters, refactors: s.refactors}
 	}
 
 	x := make([]float64, p.nStruct)
@@ -228,7 +247,15 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpSolution {
 	for j := 0; j < p.n; j++ {
 		obj += p.c[j] * s.xval[j]
 	}
-	return lpSolution{status: lpOptimal, x: x, obj: obj, iters: totalIters}
+	return lpSolution{
+		status:      lpOptimal,
+		x:           x,
+		obj:         obj,
+		iters:       totalIters,
+		phase1Iters: phase1Iters,
+		refactors:   s.refactors,
+		basis:       s.snapshotBasis(),
+	}
 }
 
 // isFixed reports whether a variable's bounds pin it to a single value.
@@ -394,29 +421,14 @@ func (s *simplexState) iterate(cost []float64, deadline time.Time) (lpStatus, in
 		s.state[enter] = stBasic
 
 		// Update B^-1: row ops eliminating column w.
-		piv := w[leave]
-		if math.Abs(piv) < pivotTol {
+		if math.Abs(w[leave]) < pivotTol {
 			// Numerically unsafe pivot: refactorize and retry.
 			if err := s.refactorize(); err != nil {
 				return lpInfeasible, iters
 			}
 			continue
 		}
-		rowL := s.binv[leave]
-		inv := 1 / piv
-		for k := 0; k < p.m; k++ {
-			rowL[k] *= inv
-		}
-		for i := 0; i < p.m; i++ {
-			if i == leave || w[i] == 0 {
-				continue
-			}
-			f := w[i]
-			ri := s.binv[i]
-			for k := 0; k < p.m; k++ {
-				ri[k] -= f * rowL[k]
-			}
-		}
+		s.applyPivot(leave, w)
 
 		sinceRefactorInc := func() bool {
 			sinceRefactor++
@@ -432,9 +444,34 @@ func (s *simplexState) iterate(cost []float64, deadline time.Time) (lpStatus, in
 	return lpIterLimit, iters
 }
 
+// applyPivot performs the basis-inverse row operations that eliminate
+// direction column w = B^-1 A_enter after s.basis[leave] has been replaced.
+// The caller guarantees |w[leave]| >= pivotTol. Both the primal iteration and
+// the dual-simplex warm probe share this exact floating-point operation order
+// so the two paths produce identical B^-1 updates.
+func (s *simplexState) applyPivot(leave int, w []float64) {
+	p := s.p
+	rowL := s.binv[leave]
+	inv := 1 / w[leave]
+	for k := 0; k < p.m; k++ {
+		rowL[k] *= inv
+	}
+	for i := 0; i < p.m; i++ {
+		if i == leave || w[i] == 0 {
+			continue
+		}
+		f := w[i]
+		ri := s.binv[i]
+		for k := 0; k < p.m; k++ {
+			ri[k] -= f * rowL[k]
+		}
+	}
+}
+
 // refactorize recomputes B^-1 from the current basis via Gauss-Jordan with
 // partial pivoting and recomputes the basic variable values.
 func (s *simplexState) refactorize() error {
+	s.refactors++
 	p := s.p
 	m := p.m
 	// Dense basis matrix.

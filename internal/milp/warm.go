@@ -1,0 +1,692 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file implements the dual-simplex warm path of the branch-and-bound
+// search. A child node differs from its parent by a single tightened
+// variable bound, so the parent's optimal basis stays dual-feasible for the
+// child — the textbook dual-simplex warm start. The warm path is a
+// *bounding probe*, not a replacement solver: it either fathoms the node
+// outright (relaxation bound above the incumbent cutoff, or a trusted
+// infeasibility certificate) or hands the node to the unchanged cold
+// two-phase path. Expanded nodes therefore always come from the exact same
+// floating-point computation as before, which keeps the whole search
+// trajectory — incumbents, bounds, branching decisions, node counts —
+// bit-identical to a cold-only run.
+//
+// Fallback ladder (any rung drops to the cold path):
+//  1. snapshot does not fit the child's computational form,
+//  2. singular refactorization of the parent basis,
+//  3. numerically unsafe dual pivot (|pivot| < pivotTol),
+//  4. per-probe pivot budget or the solver deadline exhausted,
+//  5. untrusted infeasibility certificate (violation <= certTrust).
+
+const (
+	// certTrust is the minimum primal bound violation for which a
+	// dual-unboundedness (Farkas) certificate is even considered; it is
+	// then verified against the original matrix data (see certInfeasible).
+	// Violations at or below it fall back to the cold path, whose phase 1
+	// decides feasibility authoritatively.
+	certTrust = 1e-4
+	// certSafety is the relative floating-point safety margin applied to
+	// certificate evaluations (certInfeasible, certLowerBound). It is
+	// relative to the accumulated magnitude of the evaluated terms *before*
+	// cancellation, so it dominates the worst-case rounding error of the
+	// evaluation by several orders of magnitude.
+	certSafety = 1e-7
+	// certNoise bounds the relative rounding noise of a single sparse dot
+	// product: a computed coefficient whose magnitude is below certNoise
+	// times the sum of its |term|s has an untrusted sign and is treated as
+	// possibly zero.
+	certNoise = 1e-12
+)
+
+// Basis is a snapshot of a simplex basis, used to warm-start the
+// dual-simplex probe of child nodes (and, via Params.WarmBasis, re-solves
+// of the same model). Column indices follow the computational form built by
+// buildLP: structural variables first, then one slack per constraint, then
+// one phase-1 artificial per constraint.
+type Basis struct {
+	// Cols holds the basic column of each constraint row.
+	Cols []int32
+	// States holds the simplex state of every column (basic, at lower
+	// bound, at upper bound, or free), length #vars + 2*#constraints.
+	States []int8
+	// ArtSign holds the +/-1 sign of each artificial column, which depends
+	// on the residual of the originating solve and must be reproduced for
+	// the snapshot's basis matrix to be reconstructed exactly.
+	ArtSign []int8
+}
+
+// validate checks the snapshot against a model shape (nStruct variables,
+// rows constraints).
+func (b *Basis) validate(nStruct, rows int) error {
+	ncols := nStruct + 2*rows
+	if len(b.Cols) != rows || len(b.States) != ncols || len(b.ArtSign) != rows {
+		return fmt.Errorf("shape mismatch: basis %d/%d/%d, model wants %d/%d/%d",
+			len(b.Cols), len(b.States), len(b.ArtSign), rows, ncols, rows)
+	}
+	inBasis := make([]bool, ncols)
+	for _, c := range b.Cols {
+		if c < 0 || int(c) >= ncols {
+			return fmt.Errorf("basic column %d out of range [0, %d)", c, ncols)
+		}
+		if inBasis[c] {
+			return fmt.Errorf("column %d basic in more than one row", c)
+		}
+		inBasis[c] = true
+		if b.States[c] != stBasic {
+			return fmt.Errorf("column %d in the basis but not marked basic", c)
+		}
+	}
+	for j, st := range b.States {
+		switch st {
+		case stBasic:
+			if !inBasis[j] {
+				return fmt.Errorf("column %d marked basic but missing from the basis", j)
+			}
+		case stLower, stUpper, stFree:
+		default:
+			return fmt.Errorf("column %d has invalid state %d", j, st)
+		}
+	}
+	for i, sg := range b.ArtSign {
+		if sg != 1 && sg != -1 {
+			return fmt.Errorf("artificial %d has invalid sign %d", i, sg)
+		}
+	}
+	return nil
+}
+
+// snapshotBasis captures the current basis of an optimal solve for reuse by
+// child-node warm probes.
+func (s *simplexState) snapshotBasis() *Basis {
+	p := s.p
+	b := &Basis{
+		Cols:    make([]int32, p.m),
+		States:  make([]int8, s.ncols),
+		ArtSign: make([]int8, p.m),
+	}
+	for i, bv := range s.basis {
+		b.Cols[i] = int32(bv)
+	}
+	copy(b.States, s.state)
+	for i := 0; i < p.m; i++ {
+		if p.cols[p.n+i].vals[0] < 0 {
+			b.ArtSign[i] = -1
+		} else {
+			b.ArtSign[i] = 1
+		}
+	}
+	return b
+}
+
+// KernelStats aggregates simplex-kernel counters across a branch-and-bound
+// solve. They are merged in node dispatch order, so — like the rest of the
+// Solution — they are identical for every Params.Workers value.
+type KernelStats struct {
+	// WarmAttempts counts nodes that entered the dual-simplex warm probe.
+	WarmAttempts int
+	// WarmHits counts probes that fathomed their node (incumbent cutoff or
+	// trusted infeasibility certificate) without a cold solve.
+	WarmHits int
+	// ColdSolves counts full two-phase simplex solves.
+	ColdSolves int
+	// ColdFallbacks counts probes abandoned on the fallback ladder before a
+	// cold solve (numerical safety, pivot budget, deadline).
+	ColdFallbacks int
+	// WarmIters counts dual-simplex pivots spent inside probes.
+	WarmIters int
+	// Phase1Iters counts phase-1 iterations spent by cold solves.
+	Phase1Iters int
+	// Phase1ItersSaved estimates the phase-1 work avoided by warm hits:
+	// WarmHits times the mean phase-1 iterations per cold solve.
+	Phase1ItersSaved int
+	// Refactorizations counts basis-inverse rebuilds across all solves and
+	// probes.
+	Refactorizations int
+}
+
+func (k *KernelStats) add(o KernelStats) {
+	k.WarmAttempts += o.WarmAttempts
+	k.WarmHits += o.WarmHits
+	k.ColdSolves += o.ColdSolves
+	k.ColdFallbacks += o.ColdFallbacks
+	k.WarmIters += o.WarmIters
+	k.Phase1Iters += o.Phase1Iters
+	k.Phase1ItersSaved += o.Phase1ItersSaved
+	k.Refactorizations += o.Refactorizations
+}
+
+// probeOutcome is the verdict of one warm probe.
+type probeOutcome int
+
+const (
+	// probeOpen: the probe reached primal feasibility below the cutoff; the
+	// node must be expanded, so it goes to the cold path.
+	probeOpen probeOutcome = iota
+	// probeCutoff: the relaxation bound provably exceeds the incumbent
+	// cutoff; the node is fathomed.
+	probeCutoff
+	// probeInfeasible: a trusted Farkas certificate proves the relaxation
+	// infeasible; the node is fathomed.
+	probeInfeasible
+	// probeFallback: the probe hit the fallback ladder; the node goes to
+	// the cold path undecided.
+	probeFallback
+)
+
+// warmProbe rebuilds the parent basis on the child's bounds and runs the
+// bounded-variable dual simplex until it can fathom the node or must give
+// up. minM is the minimization form of the model; incObj, gcdStep and
+// objOffset mirror the cold path's pruning arithmetic so a warm fathom
+// implies a cold prune. It returns the verdict plus the pivot and
+// refactorization counts.
+func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objOffset float64, budget int, deadline time.Time) (probeOutcome, int, int) {
+	p := buildLP(minM, lo, hi)
+
+	// Same exact empty-box check as solveLP: fathoming here cannot diverge
+	// from the cold path.
+	for j := 0; j < p.n; j++ {
+		if p.lo[j] > p.hi[j]+feasTol {
+			return probeInfeasible, 0, 0
+		}
+	}
+	if len(snap.Cols) != p.m || len(snap.States) != p.n+p.m || len(snap.ArtSign) != p.m {
+		return probeFallback, 0, 0
+	}
+
+	s := &simplexState{p: p, ncols: p.n + p.m}
+	s.state = make([]int8, s.ncols)
+	s.xval = make([]float64, s.ncols)
+	s.basis = make([]int, p.m)
+	copy(s.state, snap.States)
+	for i := 0; i < p.m; i++ {
+		// Artificials are pinned to zero (the snapshot comes from a
+		// completed phase 2) but must carry the originating solve's sign so
+		// the basis matrix matches the snapshot.
+		p.cols = append(p.cols, sparseCol{rows: []int{i}, vals: []float64{float64(snap.ArtSign[i])}})
+		p.lo = append(p.lo, 0)
+		p.hi = append(p.hi, 0)
+		s.basis[i] = int(snap.Cols[i])
+	}
+	// Nonbasic values come from the child's bounds. A nonbasic state
+	// pointing at an infinite bound means the snapshot does not fit this
+	// box.
+	for j := 0; j < s.ncols; j++ {
+		switch s.state[j] {
+		case stLower:
+			if math.IsInf(p.lo[j], -1) {
+				return probeFallback, 0, 0
+			}
+			s.xval[j] = p.lo[j]
+		case stUpper:
+			if math.IsInf(p.hi[j], 1) {
+				return probeFallback, 0, 0
+			}
+			s.xval[j] = p.hi[j]
+		case stFree:
+			s.xval[j] = 0
+		}
+	}
+	// Price on deterministically perturbed costs: the LPs here are massively
+	// dual-degenerate (many zero reduced costs), and an unperturbed dual
+	// simplex cycles through zero-ratio pivots without ever moving the
+	// bound. Distinct tiny cost offsets make the dual ratios generically
+	// nonzero, so every pivot strictly improves the perturbed dual — the
+	// standard anti-degeneracy cure. Soundness is untouched: the fathoming
+	// certificates (certLowerBound, certInfeasible) evaluate the TRUE costs
+	// for whatever multipliers the perturbed pricing produces, and they are
+	// valid for any multiplier vector. The perturbation only makes the
+	// certified bound lag by roughly the perturbation mass over the box.
+	s.pcost = make([]float64, s.ncols)
+	for j := range s.pcost {
+		h := uint32(j+1) * 2654435761 // Knuth multiplicative hash, j-dependent
+		frac := float64(h>>20) / float64(1<<12)
+		s.pcost[j] = p.c[j] + 1e-10*(1+math.Abs(p.c[j]))*(1+frac)
+	}
+	s.binv = make([][]float64, p.m)
+	for i := range s.binv {
+		s.binv[i] = make([]float64, p.m)
+	}
+	if err := s.refactorize(); err != nil {
+		return probeFallback, 0, s.refactors
+	}
+	out, iters := s.dualFathom(incObj, gcdStep, objOffset, budget, deadline)
+	return out, iters, s.refactors
+}
+
+// certBox returns the per-column bounds used by the certificate
+// evaluations: the variable box with infinite ends replaced, where
+// possible, by finite implied bounds derived from the equality rows and the
+// other columns' boxes (v*x_j = b_i - rest, so x_j ranges over the interval
+// (b_i - rest)/v). Implied bounds hold for every feasible point, so
+// intersecting them keeps the certificates rigorous, and they are widened
+// by a pad that dominates their own rounding error by orders of magnitude,
+// so imprecision can only loosen them. Without them any basic column with
+// an infinite bound collapses certLowerBound to -Inf: the drifted duals
+// leave its reduced cost at rounding-noise level rather than exactly zero,
+// and noise times infinity is unbounded. Inequality slacks all have
+// infinite upper bounds, so this is the difference between a dead cutoff
+// test and a working one. The result is cached: probe bounds never change
+// after construction.
+func (s *simplexState) certBox() (lo, hi []float64) {
+	if s.certLo != nil {
+		return s.certLo, s.certHi
+	}
+	p := s.p
+	lo = append([]float64(nil), p.lo[:s.ncols]...)
+	hi = append([]float64(nil), p.hi[:s.ncols]...)
+
+	finMin := make([]float64, p.m)
+	finMax := make([]float64, p.m)
+	finAbs := make([]float64, p.m)
+	infMin := make([]int, p.m)
+	infMax := make([]int, p.m)
+	// A second pass lets a bound derived in the first (e.g. for a slack)
+	// unlock bounds for columns sharing a row with it.
+	for pass := 0; pass < 2; pass++ {
+		// Row activity intervals over the current box, with infinite
+		// contributions tracked by count so a single column's own infinity
+		// can be excluded from its "rest of the row" interval.
+		for i := 0; i < p.m; i++ {
+			finMin[i], finMax[i], finAbs[i] = 0, 0, 0
+			infMin[i], infMax[i] = 0, 0
+		}
+		for j := 0; j < s.ncols; j++ {
+			for k, row := range p.cols[j].rows {
+				v := p.cols[j].vals[k]
+				if v == 0 {
+					continue
+				}
+				mn, mx := v*lo[j], v*hi[j]
+				if v < 0 {
+					mn, mx = mx, mn
+				}
+				if math.IsInf(mn, -1) {
+					infMin[row]++
+				} else {
+					finMin[row] += mn
+					finAbs[row] += math.Abs(mn)
+				}
+				if math.IsInf(mx, 1) {
+					infMax[row]++
+				} else {
+					finMax[row] += mx
+					finAbs[row] += math.Abs(mx)
+				}
+			}
+		}
+		changed := false
+		for j := 0; j < s.ncols; j++ {
+			if !math.IsInf(lo[j], -1) && !math.IsInf(hi[j], 1) {
+				continue
+			}
+			for k, row := range p.cols[j].rows {
+				v := p.cols[j].vals[k]
+				if v == 0 {
+					continue
+				}
+				mn, mx := v*lo[j], v*hi[j]
+				if v < 0 {
+					mn, mx = mx, mn
+				}
+				restMin, restMax := math.Inf(-1), math.Inf(1)
+				if math.IsInf(mn, -1) {
+					if infMin[row] == 1 {
+						restMin = finMin[row]
+					}
+				} else if infMin[row] == 0 {
+					restMin = finMin[row] - mn
+				}
+				if math.IsInf(mx, 1) {
+					if infMax[row] == 1 {
+						restMax = finMax[row]
+					}
+				} else if infMax[row] == 0 {
+					restMax = finMax[row] - mx
+				}
+				cl, ch := (p.b[row]-restMax)/v, (p.b[row]-restMin)/v
+				if v < 0 {
+					cl, ch = ch, cl
+				}
+				// The pad is relative to the full pre-cancellation magnitude
+				// of the row evaluation, so it dominates the true rounding
+				// error (~machine epsilon times the same magnitude) by ~1e7.
+				pad := 1e-9 * (1 + (finAbs[row]+math.Abs(p.b[row]))/math.Abs(v))
+				if cl -= pad + 1e-9*math.Abs(cl); cl > lo[j] {
+					lo[j] = cl
+					changed = true
+				}
+				if ch += pad + 1e-9*math.Abs(ch); ch < hi[j] {
+					hi[j] = ch
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	s.certLo, s.certHi = lo, hi
+	return lo, hi
+}
+
+// certInfeasible verifies a dual-ray infeasibility certificate
+// independently of the (possibly drifted) simplex iterates: for ANY row
+// vector u, every feasible x satisfies u'Ax = u'b, so if the interval of
+// u'Ax over the variable box excludes u'b by more than a conservative
+// floating-point safety margin, the relaxation is provably infeasible —
+// even when u itself is a numerically imperfect B^-1 row. Intervals with an
+// infinite (or NaN-poisoned) relevant end are inconclusive and report
+// false, sending the node to the cold path.
+func (s *simplexState) certInfeasible(u []float64) bool {
+	p := s.p
+	clo, chi := s.certBox()
+	rb, rbAbs := 0.0, 0.0
+	for i := 0; i < p.m; i++ {
+		t := u[i] * p.b[i]
+		rb += t
+		rbAbs += math.Abs(t)
+	}
+	var lsum, usum, scale float64
+	for j := 0; j < s.ncols; j++ {
+		// aAbs accumulates the pre-cancellation magnitude of the dot
+		// product: the rounding error of alpha scales with it, not with
+		// alpha itself.
+		alpha, aAbs := 0.0, 0.0
+		for k, row := range p.cols[j].rows {
+			t := u[row] * p.cols[j].vals[k]
+			alpha += t
+			aAbs += math.Abs(t)
+		}
+		if aAbs == 0 {
+			continue
+		}
+		lo, hi := clo[j], chi[j]
+		var mn, mx float64
+		switch noise := certNoise * aAbs; {
+		case alpha > noise:
+			mn, mx = alpha*lo, alpha*hi
+		case alpha < -noise:
+			mn, mx = alpha*hi, alpha*lo
+		default:
+			// The true alpha's sign is below the dot product's rounding
+			// noise: with a finite box the term's interval is the hull of
+			// both orientations; with an infinite bound it is unbounded.
+			if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+				mn, mx = math.Inf(-1), math.Inf(1)
+			} else {
+				mn = math.Min(alpha*lo, alpha*hi)
+				mx = math.Max(alpha*lo, alpha*hi)
+			}
+		}
+		lsum += mn
+		usum += mx
+		// Conservative: count every finite bound the term may have touched.
+		if !math.IsInf(lo, 0) {
+			scale += aAbs * math.Abs(lo)
+		}
+		if !math.IsInf(hi, 0) {
+			scale += aAbs * math.Abs(hi)
+		}
+	}
+	margin := certSafety * (1 + rbAbs + scale)
+	if lsum > rb+margin {
+		return true
+	}
+	return usum < rb-margin
+}
+
+// certLowerBound evaluates the Lagrangian dual bound for the candidate
+// multipliers y against the original matrix data:
+//
+//	L(y) = y'b + sum_j min over [lo_j, hi_j] of (c_j - y'A_j) x_j
+//
+// Weak duality makes L(y) a valid lower bound on the relaxation optimum for
+// ANY y — dual feasibility is not required — so numerically drifted simplex
+// duals can only weaken the bound, never invalidate it. The only error left
+// is this routine's own evaluation, which is dominated by the returned
+// safety margin: reduced costs whose sign is below the dot product's
+// rounding noise are treated as possibly zero (a bound left infinite even
+// by certBox then makes the term unbounded, collapsing L to -Inf), and the
+// final margin is relative to the pre-cancellation magnitude of every term
+// evaluated.
+func (s *simplexState) certLowerBound(y []float64) float64 {
+	p := s.p
+	clo, chi := s.certBox()
+	lb, scale := 0.0, 0.0
+	for i := 0; i < p.m; i++ {
+		t := y[i] * p.b[i]
+		lb += t
+		scale += math.Abs(t)
+	}
+	for j := 0; j < s.ncols; j++ {
+		d, dAbs := p.c[j], math.Abs(p.c[j])
+		for k, row := range p.cols[j].rows {
+			t := y[row] * p.cols[j].vals[k]
+			d -= t
+			dAbs += math.Abs(t)
+		}
+		if dAbs == 0 {
+			continue
+		}
+		lo, hi := clo[j], chi[j]
+		var t float64
+		switch noise := certNoise * dAbs; {
+		case d > noise:
+			t = d * lo // -Inf when lo is -Inf: bound collapses
+		case d < -noise:
+			t = d * hi
+		default:
+			// Sign untrusted: with finite bounds take the worse
+			// orientation; an infinite bound could hide an unbounded term.
+			if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+				return math.Inf(-1)
+			}
+			t = math.Min(d*lo, d*hi)
+		}
+		if math.IsInf(t, -1) {
+			return math.Inf(-1)
+		}
+		lb += t
+		// Conservative: count every finite bound the term may have touched.
+		if !math.IsInf(lo, 0) {
+			scale += dAbs * math.Abs(lo)
+		}
+		if !math.IsInf(hi, 0) {
+			scale += dAbs * math.Abs(hi)
+		}
+	}
+	return lb - certSafety*(1+scale)
+}
+
+// dualFathom runs bounded-variable dual-simplex pivots from the current
+// basis. Each iteration it first tries to fathom on the Lagrangian bound
+// certLowerBound(y) computed for the current basis's dual values y: weak
+// duality makes it a valid relaxation bound for ANY y, so cutoff fathoming
+// is safe whether or not the basis is (numerically) dual-feasible — the
+// certificate evaluation against the original matrix data, not the drifted
+// simplex iterates, is what carries the proof.
+func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int, deadline time.Time) (probeOutcome, int) {
+	p := s.p
+	y := make([]float64, p.m)
+	w := make([]float64, p.m)
+	sincePivot := 0
+	// Degenerate dual pivots can plateau for long stretches without moving
+	// the bound. When the bound is still far from the cutoff such a probe
+	// will not fathom, so it goes to the cold path early instead of burning
+	// the full budget. Within striking distance — less than about one
+	// representable objective step — plateaus are worth waiting out: on
+	// integer-stepped objectives any real progress rounds up to the cutoff,
+	// so near-cutoff probes keep pivoting until the budget runs out.
+	const stallLimit = 30
+	bestZb, stall := math.Inf(-1), 0
+	stallGap := 0.25 * (1 + math.Abs(incObj))
+	if gcdStep > 0 {
+		stallGap = 1.5 * gcdStep
+	}
+	if math.IsInf(incObj, 1) {
+		stallGap = 0
+	}
+
+	for iters := 0; ; iters++ {
+		if iters >= budget {
+			return probeFallback, iters
+		}
+		if !deadline.IsZero() && iters%32 == 0 && time.Now().After(deadline) {
+			return probeFallback, iters
+		}
+
+		// Dual values y = c_B' * B^-1 for the (perturbed) phase-2 costs.
+		for i := range y {
+			y[i] = 0
+		}
+		for i := 0; i < p.m; i++ {
+			cb := s.pcost[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < p.m; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+
+		// Lower bound of the node relaxation, certified against the
+		// original matrix data for the current (possibly drifted) duals.
+		zb := s.certLowerBound(y) + objOffset
+		zbRaw := zb
+		if gcdStep > 0 {
+			zb = roundBoundUp(zb, gcdStep, objOffset)
+		}
+		// Same prune threshold as the cold path, applied to a bound that is
+		// (margin included) below the true relaxation optimum: if the probe
+		// fathoms, the cold path would have pruned the node too.
+		if zb > incObj-1e-9 {
+			return probeCutoff, iters
+		}
+		if zbRaw > bestZb+1e-12*(1+math.Abs(bestZb)) {
+			bestZb, stall = zbRaw, 0
+		} else if stall++; stall > stallLimit && incObj-zb > stallGap {
+			return probeFallback, iters
+		}
+
+		// Leaving row: worst primal bound violation; ties keep the first
+		// row, so the pivot sequence is deterministic.
+		r := -1
+		worst := feasTol
+		var target float64
+		var leaveAt int8
+		for i := 0; i < p.m; i++ {
+			bv := s.basis[i]
+			if v := p.lo[bv] - s.xval[bv]; v > worst {
+				r, worst, target, leaveAt = i, v, p.lo[bv], stLower
+			}
+			if v := s.xval[bv] - p.hi[bv]; v > worst {
+				r, worst, target, leaveAt = i, v, p.hi[bv], stUpper
+			}
+		}
+		if r == -1 {
+			// Primal feasible below the cutoff: the node must be expanded.
+			return probeOpen, iters
+		}
+		bv := s.basis[r]
+		br := s.binv[r]
+		// The leaving basic moves to its violated bound: it must increase
+		// when below its lower bound, decrease when above its upper bound.
+		mustIncrease := leaveAt == stLower
+
+		// Entering column: dual ratio test |d_j| / |alpha_j| over the
+		// sign-eligible nonbasics.
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < s.ncols; j++ {
+			stj := s.state[j]
+			if stj == stBasic {
+				continue
+			}
+			if isFixed(p.lo[j], p.hi[j]) && stj != stFree {
+				continue
+			}
+			alpha := 0.0
+			for k, row := range p.cols[j].rows {
+				alpha += br[row] * p.cols[j].vals[k]
+			}
+			if math.Abs(alpha) <= pivotTol {
+				continue
+			}
+			// The basic value changes by -alpha * delta(x_j); a column is
+			// eligible when its admissible move direction pushes the basic
+			// value toward the violated bound.
+			ok := false
+			switch stj {
+			case stLower: // x_j may only increase
+				ok = (mustIncrease && alpha < 0) || (!mustIncrease && alpha > 0)
+			case stUpper: // x_j may only decrease
+				ok = (mustIncrease && alpha > 0) || (!mustIncrease && alpha < 0)
+			case stFree:
+				ok = true
+			}
+			if !ok {
+				continue
+			}
+			d := s.pcost[j]
+			for k, row := range p.cols[j].rows {
+				d -= y[row] * p.cols[j].vals[k]
+			}
+			if ratio := math.Abs(d) / math.Abs(alpha); ratio < bestRatio-1e-15 {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter == -1 {
+			// Dual unboundedness: no column can repair the violated row, so
+			// the relaxation looks infeasible. Only fathom when the ray
+			// certificate checks out against the original matrix data —
+			// borderline or unverifiable cases go to the cold path for an
+			// authoritative phase-1 answer.
+			if worst > certTrust && s.certInfeasible(br) {
+				return probeInfeasible, iters
+			}
+			return probeFallback, iters
+		}
+
+		// Pivot: w = B^-1 A_enter, step the entering variable so the
+		// leaving basic lands exactly on its violated bound.
+		for i := range w {
+			w[i] = 0
+		}
+		for k, row := range p.cols[enter].rows {
+			v := p.cols[enter].vals[k]
+			for i := 0; i < p.m; i++ {
+				w[i] += s.binv[i][row] * v
+			}
+		}
+		if math.Abs(w[r]) < pivotTol {
+			return probeFallback, iters
+		}
+		t := (s.xval[bv] - target) / w[r]
+		for i := 0; i < p.m; i++ {
+			s.xval[s.basis[i]] -= w[i] * t
+		}
+		s.xval[enter] += t
+		s.xval[bv] = target
+		s.state[bv] = leaveAt
+		s.basis[r] = enter
+		s.state[enter] = stBasic
+		s.applyPivot(r, w)
+
+		sincePivot++
+		if sincePivot >= refactor {
+			sincePivot = 0
+			if err := s.refactorize(); err != nil {
+				return probeFallback, iters + 1
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// scrub zeroes the fields that are allowed to differ between a warm and a
+// cold run of the same model: wall-clock time, iteration accounting and the
+// kernel counters themselves. Everything else — status, incumbent vector,
+// objective, bound, gap, node count — must be bit-identical.
+func scrub(sol *Solution) *Solution {
+	c := *sol
+	c.Runtime = 0
+	c.SimplexIters = 0
+	c.Kernel = KernelStats{}
+	c.RootBasis = nil
+	return &c
+}
+
+// TestWarmColdEquivalence is the core guarantee of the dual-simplex warm
+// path: on the random-model corpus, for every engine (sequential and epoch)
+// and several worker counts, a warm-started solve returns exactly the same
+// trajectory as a cold one. The warm probe may only fathom nodes the cold
+// path would have pruned anyway, so node counts must match too.
+func TestWarmColdEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	trials := 200
+	if testing.Short() {
+		trials = 50
+	}
+	warmHits := 0
+	for trial := 0; trial < trials; trial++ {
+		m := randomModel(rng)
+		for _, workers := range []int{0, 1, 4} {
+			cold := mustSolve(t, m, Params{Workers: workers, DisableWarmStart: true, TimeLimit: 10 * time.Second})
+			warm := mustSolve(t, m, Params{Workers: workers, TimeLimit: 10 * time.Second})
+			if warm.Kernel.ColdFallbacks+warm.Kernel.WarmHits > warm.Kernel.WarmAttempts {
+				t.Fatalf("trial %d workers %d: inconsistent kernel counters %+v", trial, workers, warm.Kernel)
+			}
+			warmHits += warm.Kernel.WarmHits
+			if cold.Kernel.WarmAttempts != 0 || cold.Kernel.WarmHits != 0 {
+				t.Fatalf("trial %d workers %d: DisableWarmStart still probed: %+v", trial, workers, cold.Kernel)
+			}
+			if !reflect.DeepEqual(scrub(cold), scrub(warm)) {
+				t.Fatalf("trial %d workers %d: warm trajectory differs from cold:\ncold %+v\nwarm %+v",
+					trial, workers, cold, warm)
+			}
+		}
+	}
+	// The corpus must actually exercise the warm path, or the equivalence
+	// above is vacuous.
+	if warmHits == 0 {
+		t.Fatal("no warm hits across the whole corpus; the probe never fathomed anything")
+	}
+}
+
+// TestWarmStartWithIncumbentEquivalence repeats the equivalence check in the
+// configuration the production solvers use: a feasible warm-start incumbent
+// plus a node limit. The incumbent makes cutoff fathoming available from the
+// first child on, which is the warm path's bread and butter.
+func TestWarmStartWithIncumbentEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		m := randomModel(rng)
+		// Find any feasible point to use as the incumbent.
+		probe := mustSolve(t, m, Params{DisableWarmStart: true, TimeLimit: 10 * time.Second})
+		if probe.X == nil {
+			continue
+		}
+		for _, workers := range []int{0, 1, 4} {
+			p := Params{Workers: workers, WarmStart: probe.X, MaxNodes: 64, TimeLimit: 10 * time.Second}
+			pc := p
+			pc.DisableWarmStart = true
+			cold := mustSolve(t, m, pc)
+			warm := mustSolve(t, m, p)
+			if !reflect.DeepEqual(scrub(cold), scrub(warm)) {
+				t.Fatalf("trial %d workers %d: warm trajectory differs from cold:\ncold %+v\nwarm %+v",
+					trial, workers, cold, warm)
+			}
+		}
+	}
+}
+
+// TestRootBasisRoundTrip feeds Solution.RootBasis back through
+// Params.WarmBasis: the re-solve must validate the basis, produce the same
+// answer, and actually attempt a probe at the root.
+func TestRootBasisRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		m := randomModel(rng)
+		first := mustSolve(t, m, Params{TimeLimit: 10 * time.Second})
+		if first.RootBasis == nil {
+			continue
+		}
+		for _, workers := range []int{0, 2} {
+			again := mustSolve(t, m, Params{Workers: workers, WarmBasis: first.RootBasis, TimeLimit: 10 * time.Second})
+			if again.Kernel.WarmAttempts == 0 {
+				t.Fatalf("trial %d workers %d: WarmBasis accepted but never probed", trial, workers)
+			}
+			if again.Status != first.Status || math.Abs(again.Obj-first.Obj) > 1e-9 {
+				t.Fatalf("trial %d workers %d: re-solve with RootBasis diverged: %v/%g vs %v/%g",
+					trial, workers, again.Status, again.Obj, first.Status, first.Obj)
+			}
+		}
+	}
+}
+
+// TestWarmBasisRejected pins the validation errors for malformed bases.
+func TestWarmBasisRejected(t *testing.T) {
+	m := NewModel()
+	x := m.AddInteger("x", 0, 10)
+	m.AddLE("c", NewExpr(0).Add(x, 1), 7)
+	m.SetObjective(Maximize, Sum(1, x))
+
+	cases := []struct {
+		name  string
+		basis *Basis
+	}{
+		{"wrong shape", &Basis{Cols: []int32{0}, States: []int8{stBasic}, ArtSign: []int8{1}}},
+		{"column out of range", &Basis{Cols: []int32{9}, States: []int8{stLower, stBasic, stLower}, ArtSign: []int8{1}}},
+		{"state not basic", &Basis{Cols: []int32{1}, States: []int8{stLower, stLower, stLower}, ArtSign: []int8{1}}},
+		{"invalid art sign", &Basis{Cols: []int32{1}, States: []int8{stLower, stBasic, stLower}, ArtSign: []int8{0}}},
+		{"basic not in basis", &Basis{Cols: []int32{1}, States: []int8{stBasic, stBasic, stLower}, ArtSign: []int8{1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Solve(m, Params{WarmBasis: tc.basis}); err == nil {
+				t.Fatal("malformed warm basis accepted")
+			}
+		})
+	}
+
+	// A valid basis (from a solve) must be accepted by both engines.
+	first := mustSolve(t, m, Params{})
+	if first.RootBasis == nil {
+		t.Fatal("no root basis on an optimal solve")
+	}
+	if _, err := Solve(m, Params{WarmBasis: first.RootBasis, Workers: 2}); err != nil {
+		t.Fatalf("valid warm basis rejected: %v", err)
+	}
+}
+
+// TestObjIntegerStepHugeCoefficient is the regression test for the
+// unguarded float64 -> int64 conversion: coefficients above 2^53 (still
+// exactly integral as float64) must disable gcd bound rounding entirely,
+// because the conversion can silently produce a wrong — typically too
+// large — step, and roundBoundUp would then prune nodes containing the
+// optimum. Example: {4096, 2^63+2048} has true gcd 2048, but on amd64 the
+// out-of-range conversion of 2^63+2048 yields math.MinInt64 and the
+// computed "gcd" came out 4096.
+func TestObjIntegerStepHugeCoefficient(t *testing.T) {
+	build := func(coefs ...float64) *Model {
+		m := NewModel()
+		e := NewExpr(0)
+		for _, c := range coefs {
+			v := m.AddInteger("x", 0, 10)
+			e = e.Add(v, c)
+		}
+		m.SetObjective(Minimize, e)
+		return m
+	}
+	huge := math.Ldexp(1, 63) + 2048 // 2^63 + 2048, exactly representable
+	if !isIntegral(huge) {
+		t.Fatal("test coefficient must pass the integrality check")
+	}
+	cases := []struct {
+		name  string
+		coefs []float64
+		want  float64
+	}{
+		{"beyond int64 range", []float64{4096, huge}, 0},
+		{"beyond 2^53 contiguity", []float64{2, math.Ldexp(1, 53) + 2}, 0},
+		{"at 2^53 still exact", []float64{math.Ldexp(1, 53), math.Ldexp(1, 52)}, math.Ldexp(1, 52)},
+		{"small sane gcd", []float64{6, 10}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := objIntegerStep(build(tc.coefs...), 1)
+			if got != tc.want {
+				t.Fatalf("objIntegerStep = %g, want %g", got, tc.want)
+			}
+		})
+	}
+}

@@ -115,9 +115,9 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 }
 
 // RenderASCII draws the window [from, to) as one line per track, width
-// characters wide. Span events paint their cells with the first rune of
-// their category (j/o/c); instants paint '!'; overlaps prefer overheads
-// over jobs so preemptions are visible.
+// characters wide. Span events paint their cells with their category's
+// glyph ('#' job, '=' copy, 'o' overhead); instants paint '!'; overlaps
+// prefer overheads over copies over jobs so preemptions are visible.
 func (t *Trace) RenderASCII(w io.Writer, from, to timeutil.Time, width int) error {
 	if to <= from || width <= 0 {
 		return fmt.Errorf("trace: invalid window [%v, %v) x %d", from, to, width)
@@ -138,7 +138,17 @@ func (t *Trace) RenderASCII(w io.Writer, from, to timeutil.Time, width int) erro
 		level[tr] = make([]int, width)
 	}
 	for _, e := range t.Events {
-		if e.Start >= to || e.Start+e.Dur < from {
+		if e.Start >= to {
+			continue
+		}
+		// Spans are half-open [Start, Start+Dur): one ending exactly at the
+		// window start is entirely outside it (keeping it used to paint a
+		// phantom glyph in column 0 via the b <= a clamp below). Instants at
+		// the window start are inside and stay visible.
+		if e.Dur > 0 && e.Start+e.Dur <= from {
+			continue
+		}
+		if e.Dur == 0 && e.Start < from {
 			continue
 		}
 		a := cell(maxT(e.Start, from))

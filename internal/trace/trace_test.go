@@ -105,6 +105,10 @@ func TestRenderASCII(t *testing.T) {
 	if !strings.Contains(lines[0], "legend") {
 		t.Error("missing legend")
 	}
+	// The legend must advertise exactly the glyphs the renderer paints.
+	if !strings.Contains(lines[0], "legend: #=job ==copy o=overhead !=ready") {
+		t.Errorf("legend does not match the painted glyphs: %q", lines[0])
+	}
 	// Tracks render in sorted order: core0, core1, dma.
 	// core0 contains job (#) and overhead (o) cells, overhead wins overlap.
 	core0 := lines[1]
@@ -130,6 +134,37 @@ func TestRenderASCIIWindowErrors(t *testing.T) {
 	if err := tr.RenderASCII(&buf, 0, us(10), 0); err == nil {
 		t.Error("zero width accepted")
 	}
+}
+
+// TestRenderASCIIWindowEdge pins the half-open interval semantics at the
+// window start: a span ending exactly at `from` is entirely outside the
+// window (it used to survive the filter and, via the b <= a clamp, paint a
+// phantom glyph in column 0), while an instant exactly at `from` is inside.
+func TestRenderASCIIWindowEdge(t *testing.T) {
+	t.Run("span ending at window start is invisible", func(t *testing.T) {
+		tr := &Trace{}
+		tr.Span("c", "ends at from", CatJob, 0, us(50))
+		var buf bytes.Buffer
+		if err := tr.RenderASCII(&buf, us(50), us(100), 50); err != nil {
+			t.Fatal(err)
+		}
+		line := strings.Split(strings.TrimSpace(buf.String()), "\n")[1]
+		if strings.Contains(line, "#") {
+			t.Errorf("span [0, 50) painted inside window [50, 100): %q", line)
+		}
+	})
+	t.Run("instant at window start stays visible", func(t *testing.T) {
+		tr := &Trace{}
+		tr.Mark("c", "at from", CatReady, us(50))
+		var buf bytes.Buffer
+		if err := tr.RenderASCII(&buf, us(50), us(100), 50); err != nil {
+			t.Fatal(err)
+		}
+		line := strings.Split(strings.TrimSpace(buf.String()), "\n")[1]
+		if !strings.HasPrefix(strings.Fields(line)[1], "!") {
+			t.Errorf("instant at the window start not painted in column 0: %q", line)
+		}
+	})
 }
 
 func TestRenderASCIIClipsToWindow(t *testing.T) {

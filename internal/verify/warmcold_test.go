@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"reflect"
+	"testing"
+
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/letopt"
+	"letdma/internal/milp"
+	"letdma/internal/sysgen"
+)
+
+// TestWarmColdScenarioEquivalence runs the full Section-VI MILP on
+// generated scenarios with the dual-simplex warm path enabled and disabled,
+// for several worker counts, and requires identical outcomes end to end:
+// status, objective, bound, node count and the decoded layout/schedule. The
+// node limit makes truncated searches deterministic, so the comparison is
+// exact even when optimality is not reached; a time limit would make the
+// truncation point wall-clock dependent and the comparison flaky, so none
+// is set.
+func TestWarmColdScenarioEquivalence(t *testing.T) {
+	n := 18
+	if testing.Short() {
+		n = 6
+	}
+	scenarios, err := sysgen.GenerateN(11, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := dma.DefaultCostModel()
+	covered := 0
+	for _, sc := range scenarios {
+		if sc.ExpectNoComm {
+			continue
+		}
+		a, err := let.Analyze(sc.Sys)
+		if err != nil {
+			continue
+		}
+		if a.NumComms() > 5 {
+			continue // keep the MILP small enough for the worker sweeps
+		}
+		covered++
+		gamma := deriveGamma(a, cm, 0.2)
+		for _, obj := range []dma.Objective{dma.MinTransfers, dma.MinDelayRatio} {
+			// Workers 0 exercises the legacy DFS engine, 4 the epoch
+			// engine; Workers invariance within the epoch engine is
+			// already pinned at the milp level.
+			for _, workers := range []int{0, 4} {
+				mk := func(disable bool) *letopt.Result {
+					res, err := letopt.Solve(a, cm, gamma, obj, letopt.Options{
+						MILP: milp.Params{
+							Workers:          workers,
+							MaxNodes:         96,
+							DisableWarmStart: disable,
+						},
+					})
+					if err != nil {
+						t.Fatalf("%s/%s workers=%d disable=%v: %v", sc.Name, obj, workers, disable, err)
+					}
+					// Scrub what may legitimately differ between warm and
+					// cold runs of the same trajectory.
+					res.Runtime = 0
+					res.SimplexIters = 0
+					res.Kernel = milp.KernelStats{}
+					return res
+				}
+				cold := mk(true)
+				warm := mk(false)
+				if !reflect.DeepEqual(cold, warm) {
+					t.Fatalf("%s/%s workers=%d: warm solve diverged from cold:\ncold %+v\nwarm %+v",
+						sc.Name, obj, workers, cold, warm)
+				}
+			}
+		}
+	}
+	floor := 3
+	if testing.Short() {
+		floor = 2
+	}
+	if covered < floor {
+		t.Fatalf("only %d scenarios exercised the MILP; the equivalence check is too thin", covered)
+	}
+}
