@@ -14,18 +14,25 @@
 //	campaign    acceptance-ratio study over random or automotive systems
 //	verify      differential verification over generated scenario families
 //	fuzz        seeded differential fuzzing sweep (reproduce with -seed)
+//	robust      robustness margins under seeded fault injection
 //	lp          dump the MILP in CPLEX LP format
 //	export      dump the selected system as a JSON description
 //
 // Common flags: -lite selects the reduced two-core case study; -f loads a
 // JSON-described system; -alpha, -obj, -solver, -timeout tune the
-// configuration; fig2/table1/campaign accept -csv.
+// configuration; fig2/table1/campaign/robust accept -csv.
+//
+// SIGINT during a long MILP solve stops the search at the next node or
+// epoch boundary and reports the incumbent anytime solution; the process
+// then exits with code 3 instead of dying with no output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,10 +55,39 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-// run dispatches the subcommand and returns the process exit code:
-// 0 on success, 1 on a command error (including verification failures),
-// 2 on usage errors. Split from main so exit codes are testable.
+// run wires SIGINT to the cooperative solver interrupt and dispatches.
+// The first interrupt asks the MILP search to stop at its next node or
+// epoch boundary; if the command still completes with output (the
+// incumbent anytime solution), the process exits with code 3 so scripts
+// can tell an interrupted-but-useful run from a clean one.
 func run(argv []string) int {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "letdma: interrupt — stopping the solver at the next boundary")
+			close(stop)
+		case <-done:
+		}
+	}()
+	defer close(done)
+	defer signal.Stop(sig)
+	return runWith(argv, stop)
+}
+
+// solveInterrupt is the interrupt channel of the current invocation; the
+// common config plumbs it into every MILP solve.
+var solveInterrupt <-chan struct{}
+
+// runWith dispatches the subcommand and returns the process exit code:
+// 0 on success, 1 on a command error (including verification failures),
+// 2 on usage errors, 3 when the run was interrupted but still produced
+// its (anytime) output. Split from main so exit codes are testable.
+func runWith(argv []string, stop <-chan struct{}) int {
+	solveInterrupt = stop
 	if len(argv) < 1 {
 		usage()
 		return 2
@@ -79,6 +115,8 @@ func run(argv []string) int {
 		err = cmdVerify(args)
 	case "fuzz":
 		err = cmdFuzz(args)
+	case "robust":
+		err = cmdRobust(args)
 	case "lp":
 		err = cmdLP(args)
 	case "export":
@@ -93,6 +131,12 @@ func run(argv []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "letdma %s: %v\n", cmd, err)
 		return 1
+	}
+	select {
+	case <-stop:
+		fmt.Fprintln(os.Stderr, "letdma: interrupted; the output above is the incumbent anytime solution")
+		return 3
+	default:
 	}
 	return 0
 }
@@ -111,6 +155,7 @@ commands:
   campaign     acceptance-ratio study over random systems
   verify       differential verification over generated scenario families
   fuzz         seeded differential fuzzing sweep
+  robust       fault-injection robustness margins and survival curves
   lp           dump the MILP in LP format
   export       dump the selected system as a JSON description
 
@@ -195,6 +240,7 @@ func (c *common) config() (experiments.Config, error) {
 		MILPTimeLimit: *c.timeout,
 		Slots:         *c.slots,
 		Workers:       *c.workers,
+		Interrupt:     solveInterrupt,
 	}
 	if *c.milplog {
 		cfg.MILPLog = os.Stderr
@@ -672,6 +718,60 @@ func cmdFuzz(args []string) error {
 	// The fuzz sweep favors breadth: quiet per-scenario output by
 	// default would hide coverage, so keep the ok lines unless -q.
 	return runDifferential(scs, v.options(), *v.quiet)
+}
+
+// cmdRobust runs the fault-injection robustness experiment: critical
+// uniform DMA slowdown per protocol plus survival curves over a sweep of
+// transient-error rates. The report is a pure function of the flags, so
+// CI diffs it against a golden file.
+func cmdRobust(args []string) error {
+	fs := flag.NewFlagSet("robust", flag.ExitOnError)
+	c := commonFlags(fs)
+	seed := fs.Int64("seed", 7, "fault-scenario seed (identical seeds give byte-identical reports)")
+	policy := fs.String("policy", "abort", "degradation policy: abort | waitall | failfast")
+	rates := fs.String("faultrate", "", "comma-separated transient-error rates for the survival sweep (default 0.001,0.01,0.05,0.1)")
+	trials := fs.Int("trials", 20, "seeded trials per fault rate")
+	hps := fs.Int("hyperperiods", 1, "hyperperiods per simulation run")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of the text table")
+	_ = fs.Parse(args)
+	a, err := c.analysis()
+	if err != nil {
+		return err
+	}
+	cfg, err := c.config()
+	if err != nil {
+		return err
+	}
+	pol, err := sim.ParseDegradePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	rcfg := experiments.RobustnessConfig{
+		Seed:         *seed,
+		Policy:       pol,
+		Trials:       *trials,
+		Hyperperiods: *hps,
+	}
+	if *rates != "" {
+		for _, field := range strings.Split(*rates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return fmt.Errorf("-faultrate: %w", err)
+			}
+			if r < 0 || r > 1 {
+				return fmt.Errorf("-faultrate: rate %g outside [0, 1]", r)
+			}
+			rcfg.Rates = append(rcfg.Rates, r)
+		}
+	}
+	res, err := experiments.Robustness(a, cfg, rcfg)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return experiments.WriteRobustnessCSV(os.Stdout, res)
+	}
+	return experiments.RenderRobustness(os.Stdout, res)
 }
 
 func cmdExport(args []string) error {

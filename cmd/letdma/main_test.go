@@ -43,6 +43,10 @@ func TestExitCodes(t *testing.T) {
 		{"export", []string{"export", "-lite"}, 0},
 		{"verify", []string{"verify", "-seed", "1", "-n", "6", "-q"}, 0},
 		{"fuzz", []string{"fuzz", "-seed", "3", "-n", "6", "-q"}, 0},
+		{"robust", []string{"robust", "-lite", "-seed", "7", "-trials", "2", "-faultrate", "0.01"}, 0},
+		{"robust-csv", []string{"robust", "-lite", "-seed", "7", "-trials", "2", "-faultrate", "0.1", "-csv", "-policy", "waitall"}, 0},
+		{"robust-bad-policy", []string{"robust", "-lite", "-policy", "bogus"}, 1},
+		{"robust-bad-rate", []string{"robust", "-lite", "-faultrate", "1.5"}, 1},
 		{"verify-unknown-family", []string{"verify", "-family", "bogus"}, 1},
 		{"verify-nonpositive-n", []string{"verify", "-n", "0"}, 1},
 		{"missing-system-file", []string{"export", "-f", "/nonexistent/system.json"}, 1},
@@ -79,5 +83,38 @@ func TestVerifyDeterministicAcrossWorkers(t *testing.T) {
 		if got := runSilenced(t, "verify", "-seed", "7", "-n", "6", "-q", "-workers", w); got != 0 {
 			t.Errorf("verify -workers %s: exit code %d, want 0", w, got)
 		}
+	}
+}
+
+// runInterrupted invokes runWith with an already-closed stop channel —
+// the state after SIGINT arrived before (or during) the solve — with
+// output silenced.
+func runInterrupted(t *testing.T, args ...string) int {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = devnull, devnull
+	defer func() { os.Stdout, os.Stderr = oldOut, oldErr }()
+	stop := make(chan struct{})
+	close(stop)
+	return runWith(args, stop)
+}
+
+// TestInterruptExitCode: an interrupted MILP solve still reports the
+// incumbent anytime solution and exits with the distinct code 3, for
+// both the sequential and parallel search engines. A command that errors
+// keeps exit code 1 even when interrupted.
+func TestInterruptExitCode(t *testing.T) {
+	for _, w := range []string{"0", "2"} {
+		if got := runInterrupted(t, "table1", "-lite", "-solver", "milp", "-workers", w); got != 3 {
+			t.Errorf("interrupted table1 -workers %s: exit code %d, want 3", w, got)
+		}
+	}
+	if got := runInterrupted(t, "export", "-f", "/nonexistent/system.json"); got != 1 {
+		t.Errorf("interrupted failing command: exit code %d, want 1", got)
 	}
 }

@@ -75,6 +75,10 @@ type Config struct {
 	// including the per-solve kernel counters (warm-probe hits, cold
 	// fallbacks, phase-1 iterations, refactorizations).
 	MILPLog io.Writer
+	// Interrupt, when non-nil, is passed to the MILP search: closing it
+	// stops the solve at the next node/epoch boundary with the incumbent
+	// anytime solution. letdma wires SIGINT to this.
+	Interrupt <-chan struct{}
 }
 
 func (c *Config) fill() {
@@ -136,7 +140,7 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 	if cfg.Solver == SolverMILP {
 		res, err := letopt.Solve(a, cm, gamma, cfg.Objective, letopt.Options{
 			Slots:      cfg.Slots,
-			MILP:       milp.Params{TimeLimit: cfg.MILPTimeLimit, Workers: cfg.Workers, Log: cfg.MILPLog},
+			MILP:       milp.Params{TimeLimit: cfg.MILPTimeLimit, Workers: cfg.Workers, Log: cfg.MILPLog, Interrupt: cfg.Interrupt},
 			WarmLayout: comb.Layout,
 			WarmSched:  comb.Sched,
 		})

@@ -1,0 +1,155 @@
+// Package faultsim provides seeded, deterministic fault models for the
+// discrete-event simulator and the robustness-margin analyzer built on
+// top of them.
+//
+// The paper's cost model (Section IV) treats every DMA copy as taking
+// exactly omega_c per byte, but real engines see contention-dependent
+// latency, transient errors and — under heavy interconnect load — outright
+// transfer drops. Model captures those effects with four orthogonal
+// knobs (copy-time jitter, bus-contention bursts, transient error rate,
+// hard-drop rate) plus a uniform slowdown factor used by the margin
+// search, and implements sim.Injector.
+//
+// Every draw is a pure hash of (seed, stream, absolute instant, transfer
+// index, attempt) — no sequential RNG state — so a scenario is
+// reproducible bit-for-bit regardless of worker count or replay order.
+// The zero-rate model reproduces the nominal cost model exactly, which
+// the verification oracle asserts.
+package faultsim
+
+import (
+	"fmt"
+
+	"letdma/internal/sim"
+	"letdma/internal/timeutil"
+)
+
+// Draw streams: each fault dimension hashes with its own constant so the
+// same (instant, transfer, attempt) triple gives independent decisions
+// per dimension.
+const (
+	streamJitter uint64 = 0x4A69747465720001 // "Jitter"
+	streamBurst  uint64 = 0x4275727374000002 // "Burst"
+	streamError  uint64 = 0x4572726F72000003 // "Error"
+	streamDrop   uint64 = 0x44726F7000000004 // "Drop"
+)
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64,
+// the standard way to turn structured coordinates into independent draws.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Model is a deterministic fault scenario. The zero value injects
+// nothing: every attempt succeeds with its nominal copy time.
+type Model struct {
+	// Seed selects the scenario; two models differing only in Seed
+	// produce statistically independent fault patterns.
+	Seed int64
+	// JitterPermille is the maximum per-attempt copy-time inflation in
+	// permille of the nominal cost; the actual inflation is drawn
+	// uniformly from [0, JitterPermille].
+	JitterPermille int64
+	// BurstRate is the probability that a communication instant falls in
+	// a bus-contention burst window; every copy at a bursty instant is
+	// scaled by BurstPermille/1000.
+	BurstRate float64
+	// BurstPermille scales copies during a burst (0 means 1000, i.e. no
+	// scaling; 2000 doubles the copy time).
+	BurstPermille int64
+	// ErrorRate is the per-attempt probability of a transient DMA error.
+	ErrorRate float64
+	// DropRate is the per-transfer probability of a hard drop that no
+	// retry can recover.
+	DropRate float64
+	// Retries is the per-transfer retry budget after the first attempt.
+	Retries int
+	// BackoffBase is the idle wait before the first retry; each further
+	// retry doubles it (exponential backoff).
+	BackoffBase timeutil.Time
+	// SlowdownPermille scales every copy uniformly (0 means 1000, i.e.
+	// nominal speed); the margin search sweeps it.
+	SlowdownPermille int64
+}
+
+var _ sim.Injector = (*Model)(nil)
+
+// String renders the non-default knobs, for report headers.
+func (m *Model) String() string {
+	return fmt.Sprintf("seed=%d jitter=%d%% burst=%.3gx%.3g err=%.3g drop=%.3g retries=%d backoff=%v slow=%.3g",
+		m.Seed, m.JitterPermille/10, m.BurstRate, float64(m.burstPermille())/1000,
+		m.ErrorRate, m.DropRate, m.Retries, m.BackoffBase, float64(m.slowdownPermille())/1000)
+}
+
+func (m *Model) burstPermille() int64 {
+	if m.BurstPermille == 0 {
+		return 1000
+	}
+	return m.BurstPermille
+}
+
+func (m *Model) slowdownPermille() int64 {
+	if m.SlowdownPermille == 0 {
+		return 1000
+	}
+	return m.SlowdownPermille
+}
+
+// draw hashes the scenario coordinates into one uniform uint64.
+func (m *Model) draw(stream uint64, t timeutil.Time, transfer, attempt int) uint64 {
+	h := mix64(uint64(m.Seed)*0x9E3779B97F4A7C15 ^ stream)
+	h = mix64(h ^ uint64(t))
+	h = mix64(h ^ uint64(transfer)<<32 ^ uint64(attempt))
+	return h
+}
+
+// chance converts a draw into a Bernoulli trial with probability p.
+func chance(h uint64, p float64) bool {
+	return p > 0 && float64(h>>11)/(1<<53) < p
+}
+
+// Attempt implements sim.Injector: it returns the copy time charged to
+// the given attempt and its verdict, as a pure function of the scenario
+// coordinates.
+func (m *Model) Attempt(t timeutil.Time, transfer, attempt int, nominal timeutil.Time) (timeutil.Time, sim.FaultVerdict) {
+	if attempt == 0 && chance(m.draw(streamDrop, t, transfer, 0), m.DropRate) {
+		return 0, sim.AttemptDropped
+	}
+	n := int64(nominal)
+	copyT := timeutil.CeilDiv(n*m.slowdownPermille(), 1000)
+	if m.JitterPermille > 0 {
+		j := int64(m.draw(streamJitter, t, transfer, attempt) % uint64(m.JitterPermille+1))
+		copyT += timeutil.CeilDiv(n*j, 1000)
+	}
+	if chance(m.draw(streamBurst, t, 0, 0), m.BurstRate) {
+		copyT = timeutil.CeilDiv(copyT*m.burstPermille(), 1000)
+	}
+	if chance(m.draw(streamError, t, transfer, attempt), m.ErrorRate) {
+		return timeutil.Time(copyT), sim.AttemptTransient
+	}
+	return timeutil.Time(copyT), sim.AttemptOK
+}
+
+// MaxRetries implements sim.Injector.
+func (m *Model) MaxRetries() int { return m.Retries }
+
+// Backoff implements sim.Injector: exponential, BackoffBase doubling per
+// retry, capped at 16 doublings to stay far from overflow.
+func (m *Model) Backoff(attempt int) timeutil.Time {
+	if m.BackoffBase <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 16 {
+		shift = 16
+	}
+	return m.BackoffBase << shift
+}

@@ -1,0 +1,251 @@
+// Robustness-margin analysis: how far can the platform degrade before an
+// optimized schedule stops meeting LET semantics, and how often does it
+// survive a given fault rate. Both metrics are computed by replaying the
+// schedule through the discrete-event simulator — the analytic bounds of
+// the MILP say nothing about faulted runs.
+package faultsim
+
+import (
+	"fmt"
+
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/sim"
+	"letdma/internal/timeutil"
+)
+
+// MarginConfig describes one robustness analysis: a schedule (via the
+// protocol + transfer schedule), the platform cost models, and the fault
+// scenario family to sweep.
+type MarginConfig struct {
+	Analysis *let.Analysis
+	Cost     dma.CostModel
+	CPUCost  dma.CostModel
+	// Sched is required for sim.Proposed and sim.GiottoDMAB.
+	Sched    *dma.Schedule
+	Protocol sim.Protocol
+	Policy   sim.DegradePolicy
+	// Hyperperiods per simulation run (default 1).
+	Hyperperiods int
+	// MaxSlowdownPermille caps the critical-slowdown search (default
+	// 1024000, i.e. 1024x nominal copy cost — the search is a bisection,
+	// so a generous cap costs only a handful of extra replays).
+	MaxSlowdownPermille int64
+	// Rates are the transient-error rates of the survival curve (default
+	// 0.001, 0.01, 0.05, 0.1).
+	Rates []float64
+	// Trials is the number of seeded scenarios per rate (default 20).
+	Trials int
+	// Seed selects the scenario family; identical seeds give
+	// byte-identical margins.
+	Seed int64
+	// Base is the fault model template for the survival trials; per
+	// trial, Seed and ErrorRate are overridden.
+	Base Model
+}
+
+func (cfg *MarginConfig) fill() {
+	if cfg.Hyperperiods == 0 {
+		cfg.Hyperperiods = 1
+	}
+	if cfg.MaxSlowdownPermille == 0 {
+		cfg.MaxSlowdownPermille = 1024000
+	}
+	if cfg.Rates == nil {
+		cfg.Rates = []float64{0.001, 0.01, 0.05, 0.1}
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 20
+	}
+}
+
+// SurvivalPoint is one point of the survival curve: how many of Trials
+// seeded scenarios at ErrorRate=Rate completed without a deadline miss,
+// Property-3 violation or halt, and how much data went stale doing so
+// (the cost of surviving under the abort-transfer policy).
+type SurvivalPoint struct {
+	Rate     float64
+	Survived int
+	Trials   int
+	// StaleComms totals the communications that served previous-cycle
+	// values across all trials at this rate.
+	StaleComms int
+	// Retries totals the transient-error retries across all trials.
+	Retries int
+}
+
+// Margin is the robustness report for one protocol.
+type Margin struct {
+	Protocol sim.Protocol
+	Policy   sim.DegradePolicy
+	// CriticalSlowdownPermille is the largest uniform copy-cost slowdown
+	// (permille of nominal) that a fault-free run tolerates with zero
+	// deadline misses and zero Property-3 violations. 0 means even the
+	// nominal run fails; MaxSlowdownPermille means the search cap was
+	// clean.
+	CriticalSlowdownPermille int64
+	Survival                 []SurvivalPoint
+}
+
+// scaleCost multiplies a cost model's per-byte copy cost by
+// permille/1000, reducing the rational by its GCD to keep the numbers
+// small and exact.
+func scaleCost(cm dma.CostModel, permille int64) dma.CostModel {
+	num := cm.CopyNsNum * permille
+	den := cm.CopyNsDen * 1000
+	if g := timeutil.GCD(num, den); g > 1 {
+		num /= g
+		den /= g
+	}
+	cm.CopyNsNum = num
+	cm.CopyNsDen = den
+	return cm
+}
+
+// simConfig builds the base sim.Config for this margin analysis.
+func (cfg *MarginConfig) simConfig() sim.Config {
+	return sim.Config{
+		Analysis:     cfg.Analysis,
+		Cost:         cfg.Cost,
+		CPUCost:      cfg.CPUCost,
+		Sched:        cfg.Sched,
+		Protocol:     cfg.Protocol,
+		Hyperperiods: cfg.Hyperperiods,
+		Policy:       cfg.Policy,
+	}
+}
+
+// clean runs the protocol fault-free with copies slowed to
+// permille/1000 of nominal and reports whether LET semantics held
+// (zero deadline misses, zero Property-3 violations).
+func (cfg *MarginConfig) clean(permille int64) (bool, error) {
+	sc := cfg.simConfig()
+	// Giotto-CPU performs its copies on the CPUs, so the interference
+	// slowdown applies to the CPU copy model there; the DMA protocols
+	// slow the engine.
+	if cfg.Protocol == sim.GiottoCPU {
+		sc.CPUCost = scaleCost(sc.CPUCost, permille)
+	} else {
+		sc.Cost = scaleCost(sc.Cost, permille)
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		return false, err
+	}
+	if res.Property3Violations > 0 {
+		return false, nil
+	}
+	for _, task := range cfg.Analysis.Sys.Tasks {
+		if res.Stats[task.ID].Misses > 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CriticalSlowdown bisects the largest uniform copy slowdown (permille)
+// in [1000, MaxSlowdownPermille] whose fault-free run is clean. Failure
+// is monotone in the slowdown for these replay semantics, so bisection
+// finds the boundary exactly.
+func CriticalSlowdown(cfg MarginConfig) (int64, error) {
+	cfg.fill()
+	lo := int64(1000)
+	ok, err := cfg.clean(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil // the nominal run already breaks LET semantics
+	}
+	hi := cfg.MaxSlowdownPermille
+	if hi <= lo {
+		return lo, nil
+	}
+	ok, err = cfg.clean(hi)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return hi, nil
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := cfg.clean(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// trialSeed derives the fault-model seed of one (rate, trial) cell as a
+// pure hash, so curves are identical regardless of evaluation order.
+func trialSeed(seed int64, rateIdx, trial int) int64 {
+	h := mix64(uint64(seed)*0x9E3779B97F4A7C15 + 0x53757276697665) // "Survive"
+	h = mix64(h ^ uint64(rateIdx)<<32 ^ uint64(trial))
+	return int64(h)
+}
+
+// SurvivalCurve runs Trials seeded fault scenarios at each error rate
+// and counts the runs that finished with zero deadline misses, zero
+// Property-3 violations and no halt.
+func SurvivalCurve(cfg MarginConfig) ([]SurvivalPoint, error) {
+	cfg.fill()
+	curve := make([]SurvivalPoint, len(cfg.Rates))
+	for ri, rate := range cfg.Rates {
+		pt := SurvivalPoint{Rate: rate, Trials: cfg.Trials}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			m := cfg.Base
+			m.Seed = trialSeed(cfg.Seed, ri, trial)
+			m.ErrorRate = rate
+			sc := cfg.simConfig()
+			sc.Inject = &m
+			res, err := sim.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("faultsim: rate %g trial %d: %w", rate, trial, err)
+			}
+			pt.StaleComms += res.StaleComms
+			pt.Retries += res.Retries
+			if res.Property3Violations > 0 || res.Halted {
+				continue
+			}
+			missed := false
+			for _, task := range cfg.Analysis.Sys.Tasks {
+				if res.Stats[task.ID].Misses > 0 {
+					missed = true
+					break
+				}
+			}
+			if !missed {
+				pt.Survived++
+			}
+		}
+		curve[ri] = pt
+	}
+	return curve, nil
+}
+
+// ComputeMargin bundles the critical slowdown and the survival curve for
+// one protocol into a Margin report.
+func ComputeMargin(cfg MarginConfig) (*Margin, error) {
+	cfg.fill()
+	crit, err := CriticalSlowdown(cfg)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := SurvivalCurve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Margin{
+		Protocol:                 cfg.Protocol,
+		Policy:                   cfg.Policy,
+		CriticalSlowdownPermille: crit,
+		Survival:                 curve,
+	}, nil
+}

@@ -85,6 +85,25 @@ type Params struct {
 	BranchPriority []int
 	// Log, if non-nil, receives progress lines.
 	Log io.Writer
+	// Interrupt, when non-nil, requests a cooperative stop: close the
+	// channel and the search halts at the next node boundary (sequential
+	// engine) or epoch boundary (parallel engine), returning the
+	// incumbent anytime solution (StatusFeasible plus its gap) exactly
+	// as if the time limit had expired. letdma wires SIGINT to this.
+	Interrupt <-chan struct{}
+}
+
+// stopRequested polls an interrupt channel without blocking.
+func stopRequested(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // Solution is the result of a Solve call.
@@ -324,6 +343,10 @@ func Solve(m *Model, p Params) (*Solution, error) {
 			break
 		}
 		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			hitLimit = true
+			break
+		}
+		if stopRequested(p.Interrupt) {
 			hitLimit = true
 			break
 		}

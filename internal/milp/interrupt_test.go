@@ -1,0 +1,84 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// interruptModel builds a knapsack-style model large enough that the
+// search does real work, so an interrupt lands mid-solve.
+func interruptModel() (*Model, []float64) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewModel()
+	n := 40
+	var xs []VarID
+	obj := NewExpr(0)
+	for i := 0; i < n; i++ {
+		x := m.AddBinary("x")
+		xs = append(xs, x)
+		obj = obj.Add(x, float64(rng.Intn(100)+1))
+	}
+	for c := 0; c < 30; c++ {
+		e := NewExpr(0)
+		for i := 0; i < n; i++ {
+			e = e.Add(xs[i], float64(rng.Intn(20)))
+		}
+		m.AddLE("cap", e, float64(rng.Intn(100)+50))
+	}
+	m.SetObjective(Maximize, obj)
+	return m, make([]float64, n) // all-zero warm start is feasible
+}
+
+// TestInterruptReturnsIncumbent: a pre-closed Interrupt channel stops
+// both engines at their first boundary check; with a warm start the
+// anytime incumbent comes back as StatusFeasible (or StatusOptimal if
+// the root already proved it) instead of an error or no output.
+func TestInterruptReturnsIncumbent(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		m, ws := interruptModel()
+		stop := make(chan struct{})
+		close(stop)
+		sol, err := Solve(m, Params{Workers: workers, WarmStart: ws, Interrupt: stop})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sol.X == nil {
+			t.Fatalf("workers=%d: no incumbent after interrupt", workers)
+		}
+		if sol.Status != StatusFeasible && sol.Status != StatusOptimal {
+			t.Fatalf("workers=%d: status = %v, want feasible/optimal anytime solution", workers, sol.Status)
+		}
+		if sol.Status == StatusFeasible && sol.Gap <= 0 {
+			t.Errorf("workers=%d: interrupted solve reported gap %g, want positive", workers, sol.Gap)
+		}
+	}
+}
+
+// TestNilInterruptIsIgnored: the default nil channel must not perturb
+// a normal solve.
+func TestNilInterruptIsIgnored(t *testing.T) {
+	m := NewModel()
+	x := m.AddInteger("x", 0, 10)
+	y := m.AddInteger("y", 0, 10)
+	m.AddLE("c", Sum(1, x, y), 7)
+	m.SetObjective(Maximize, NewExpr(0).Add(x, 2).Add(y, 3))
+	sol, err := Solve(m, Params{})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("status=%v err=%v, want optimal", sol.Status, err)
+	}
+}
+
+// TestOpenInterruptDoesNotStop: an open (never-closed) channel leaves
+// the solve untouched and it runs to optimality.
+func TestOpenInterruptDoesNotStop(t *testing.T) {
+	m := NewModel()
+	x := m.AddInteger("x", 0, 10)
+	m.AddGE("c", Sum(1, x), 3)
+	m.SetObjective(Minimize, Sum(1, x))
+	stop := make(chan struct{})
+	defer close(stop)
+	sol, err := Solve(m, Params{Interrupt: stop})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("status=%v err=%v, want optimal", sol.Status, err)
+	}
+}

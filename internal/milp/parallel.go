@@ -52,6 +52,10 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 			hitLimit = true
 			break
 		}
+		if stopRequested(p.Interrupt) {
+			hitLimit = true
+			break
+		}
 		// Prune against the incumbent before dispatch. Pruned nodes count
 		// as explored, mirroring the sequential engine's pop-then-prune.
 		kept := open[:0]

@@ -18,6 +18,19 @@
 // violations (transfer sequences spilling past the next communication
 // instant). On contention-free instants the simulated latency equals
 // dma.Latency exactly, which the tests assert.
+//
+// # Fault injection
+//
+// Config.Inject plugs a fault model (internal/faultsim) into the replay:
+// every transfer attempt asks the injector for its actual copy duration
+// and verdict (ok, transient error, hard drop). Transient errors are
+// retried after an injector-chosen backoff up to the injector's budget;
+// an exhausted budget or a hard drop is an unrecoverable failure, handled
+// by the configured DegradePolicy. Every deviation from the nominal
+// protocol — window overruns, exhausted retries, stale labels published
+// by a skipped transfer — is reported as a structured violation.List
+// entry on the Result, never as a panic or a silently wrong latency.
+// With Inject == nil the replay is exactly the nominal cost model.
 package sim
 
 import (
@@ -30,6 +43,7 @@ import (
 	"letdma/internal/model"
 	"letdma/internal/timeutil"
 	"letdma/internal/trace"
+	"letdma/internal/violation"
 )
 
 // Protocol selects the communication approach to simulate.
@@ -64,6 +78,87 @@ func (p Protocol) String() string {
 	}
 }
 
+// FaultVerdict classifies one injected transfer attempt.
+type FaultVerdict int
+
+const (
+	// AttemptOK: the attempt completes after its (possibly inflated)
+	// copy time.
+	AttemptOK FaultVerdict = iota
+	// AttemptTransient: the attempt consumes its full worst-case cost and
+	// then fails with a recoverable DMA error; the runtime backs off and
+	// retries while budget remains.
+	AttemptTransient
+	// AttemptDropped: the transfer is dropped by the engine before any
+	// time is consumed; no retry can recover it.
+	AttemptDropped
+)
+
+// Injector is the fault model driven by the replay. Implementations must
+// be pure functions of (own seed, instant, transfer, attempt) so that a
+// run is deterministic regardless of scheduling; internal/faultsim
+// provides the seeded reference implementation.
+type Injector interface {
+	// Attempt returns the copy duration charged to the given attempt
+	// (nominal possibly inflated by jitter, bursts or a uniform
+	// slowdown) and its verdict. t is the absolute instant of the
+	// communication sequence, transfer the induced-transfer index at t,
+	// attempt the 0-based attempt number.
+	Attempt(t timeutil.Time, transfer, attempt int, nominal timeutil.Time) (timeutil.Time, FaultVerdict)
+	// MaxRetries is the per-transfer retry budget after the first attempt.
+	MaxRetries() int
+	// Backoff returns the idle wait before retry number attempt (1-based).
+	Backoff(attempt int) timeutil.Time
+}
+
+// DegradePolicy selects how the runtime reacts when fault injection makes
+// a transfer unrecoverable (hard drop or exhausted retries) or a sequence
+// overrun its communication window.
+type DegradePolicy int
+
+const (
+	// AbortTransfer skips the failed transfer, and any transfer whose
+	// next attempt could not complete within the window, per the
+	// eta^W/eta^R skip-rule semantics: the affected labels keep their
+	// previous-cycle (stale but internally consistent) values, consumers
+	// proceed, and Property 3 is preserved for subsequent instants.
+	AbortTransfer DegradePolicy = iota
+	// WaitAll falls back to Giotto readiness for the affected instant:
+	// every task released there waits for the whole (late) sequence, and
+	// overruns spill into the following windows exactly as measured.
+	WaitAll
+	// FailFast stops the replay at the first unrecoverable failure or
+	// window overrun. The Result still carries the full violation list
+	// and Halted/HaltedAt; releases at or after the halt instant are not
+	// compared against the nominal protocol.
+	FailFast
+)
+
+// String names the policy with the letdma flag spellings.
+func (p DegradePolicy) String() string {
+	switch p {
+	case AbortTransfer:
+		return "abort-transfer"
+	case WaitAll:
+		return "wait-all"
+	default:
+		return "fail-fast"
+	}
+}
+
+// ParseDegradePolicy maps the letdma -policy spellings to a policy.
+func ParseDegradePolicy(s string) (DegradePolicy, error) {
+	switch s {
+	case "abort", "abort-transfer":
+		return AbortTransfer, nil
+	case "waitall", "wait-all":
+		return WaitAll, nil
+	case "failfast", "fail-fast":
+		return FailFast, nil
+	}
+	return 0, fmt.Errorf("sim: unknown degradation policy %q (want abort | waitall | failfast)", s)
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Analysis *let.Analysis
@@ -81,6 +176,59 @@ type Config struct {
 	// Trace, when non-nil, receives execution slices (task jobs, DMA
 	// copies, programming/ISR overheads) and readiness markers.
 	Trace *trace.Trace
+	// Inject, when non-nil, drives fault injection: per-attempt copy
+	// times, transient errors, retry budgets and hard drops. Nil replays
+	// the nominal cost model exactly.
+	Inject Injector
+	// Policy selects the degradation response to unrecoverable faults
+	// and window overruns. Only consulted when Inject is non-nil; the
+	// zero value is AbortTransfer.
+	Policy DegradePolicy
+}
+
+// validate checks the configuration up front, so misconfigured runs fail
+// with a descriptive error instead of a downstream panic or a silently
+// empty result.
+func (cfg *Config) validate() error {
+	if cfg.Analysis == nil {
+		return fmt.Errorf("sim: Config.Analysis is nil (run let.Analyze first)")
+	}
+	if cfg.Hyperperiods < 0 {
+		return fmt.Errorf("sim: negative Hyperperiods %d (0 defaults to 1)", cfg.Hyperperiods)
+	}
+	switch cfg.Protocol {
+	case Proposed:
+		if cfg.Sched == nil {
+			return fmt.Errorf("sim: Proposed protocol requires Config.Sched (the optimized transfer schedule)")
+		}
+	case GiottoDMAB:
+		if cfg.Sched == nil {
+			return fmt.Errorf("sim: Giotto-DMA-B requires Config.Sched (the optimized transfer schedule)")
+		}
+	case GiottoCPU, GiottoDMAA:
+		// Per-comm protocols derive their schedule from the analysis.
+	default:
+		return fmt.Errorf("sim: unknown protocol %d", cfg.Protocol)
+	}
+	if cfg.Protocol != GiottoCPU {
+		if err := cfg.Cost.Validate(); err != nil {
+			return fmt.Errorf("sim: Config.Cost: %w", err)
+		}
+	}
+	if cfg.CPUCost.CopyNsDen != 0 {
+		if err := cfg.CPUCost.Validate(); err != nil {
+			return fmt.Errorf("sim: Config.CPUCost: %w", err)
+		}
+	}
+	if cfg.Inject != nil {
+		if cfg.Policy != AbortTransfer && cfg.Policy != WaitAll && cfg.Policy != FailFast {
+			return fmt.Errorf("sim: unknown degradation policy %d", cfg.Policy)
+		}
+		if n := cfg.Inject.MaxRetries(); n < 0 {
+			return fmt.Errorf("sim: Injector.MaxRetries() is negative (%d)", n)
+		}
+	}
+	return nil
 }
 
 // TaskStats aggregates per-task results.
@@ -91,6 +239,10 @@ type TaskStats struct {
 	TotalLatency timeutil.Time // sum over jobs, for averages
 	MaxResponse  timeutil.Time // worst finish - release
 	Misses       int           // jobs finishing after release + period
+	// StaleReads counts jobs that consumed at least one stale label
+	// because a transfer carrying one of their communications failed or
+	// was aborted (fault injection only).
+	StaleReads int
 }
 
 // AvgLatency returns the mean data-acquisition latency over all jobs.
@@ -110,6 +262,27 @@ type Result struct {
 	// Property3Violations counts communication sequences that spilled past
 	// the next communication instant.
 	Property3Violations int
+	// Violations lists every runtime deviation of an injected-fault run
+	// (codes overrun, retry-exhausted, stale-read), in replay order. Nil
+	// when Inject was nil or no fault manifested.
+	Violations violation.List
+	// DegradedAt marks the absolute instants whose transfer sequence
+	// deviated from the nominal replay in any way (inflated copy time,
+	// retry, failure, overrun, or a start delayed by an earlier spill).
+	// At instants not in the set, simulated latencies equal the analytic
+	// prediction; the verification oracle relies on that contract.
+	DegradedAt map[timeutil.Time]bool
+	// Retries counts transient-error retries across the run.
+	Retries int
+	// AbortedTransfers counts transfers skipped or failed permanently.
+	AbortedTransfers int
+	// StaleComms counts communications whose data went stale.
+	StaleComms int
+	// Halted reports that the FailFast policy stopped the replay at
+	// absolute instant HaltedAt; later communication sequences were not
+	// played and later releases carry no transfer-induced latency.
+	Halted   bool
+	HaltedAt timeutil.Time
 }
 
 // overhead is a slice of CPU time consumed at the highest priority.
@@ -121,11 +294,11 @@ type overhead struct {
 
 // Run simulates the configured protocol and returns per-task statistics.
 func Run(cfg Config) (*Result, error) {
-	a := cfg.Analysis
-	if a == nil {
-		return nil, fmt.Errorf("sim: missing analysis")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Hyperperiods <= 0 {
+	a := cfg.Analysis
+	if cfg.Hyperperiods == 0 {
 		cfg.Hyperperiods = 1
 	}
 	if cfg.CPUCost.CopyNsDen == 0 {
@@ -137,12 +310,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	horizon := a.H * timeutil.Time(cfg.Hyperperiods)
-	readyAt, overheads, p3viol := commTimeline(a, cost, sched, perTask, horizon, cfg.Protocol == GiottoCPU, cfg.Trace)
+	tl := commTimeline(a, cost, sched, perTask, horizon, cfg.Protocol == GiottoCPU, cfg.Trace, cfg.Inject, cfg.Policy)
 
 	res := &Result{
 		Stats:               make(map[model.TaskID]*TaskStats),
 		LatencyAt:           make(map[model.TaskID]map[timeutil.Time]timeutil.Time),
-		Property3Violations: p3viol,
+		Property3Violations: tl.p3viol,
+		Violations:          tl.vs,
+		DegradedAt:          tl.degraded,
+		Retries:             tl.retries,
+		AbortedTransfers:    tl.aborted,
+		StaleComms:          tl.stale,
+		Halted:              tl.halted,
+		HaltedAt:            tl.haltedAt,
 	}
 	for _, task := range a.Sys.Tasks {
 		res.Stats[task.ID] = &TaskStats{Name: task.Name}
@@ -155,7 +335,7 @@ func Run(cfg Config) (*Result, error) {
 	for _, task := range a.Sys.Tasks {
 		for rel := timeutil.Time(0); rel < horizon; rel += task.Period {
 			ready := rel
-			if r, ok := readyAt[taskInstant{task.ID, rel}]; ok {
+			if r, ok := tl.readyAt[taskInstant{task.ID, rel}]; ok {
 				ready = r
 			}
 			lat := ready - rel
@@ -165,6 +345,9 @@ func Run(cfg Config) (*Result, error) {
 			if lat > st.MaxLatency {
 				st.MaxLatency = lat
 			}
+			if tl.staleJobs[taskInstant{task.ID, rel}] {
+				st.StaleReads++
+			}
 			res.LatencyAt[task.ID][rel] = lat
 			cores[task.Core].jobs = append(cores[task.Core].jobs, &job{
 				task: task.ID, prio: task.Priority, ready: ready,
@@ -172,7 +355,7 @@ func Run(cfg Config) (*Result, error) {
 			})
 		}
 	}
-	for _, ov := range overheads {
+	for _, ov := range tl.ovs {
 		cores[ov.core].jobs = append(cores[ov.core].jobs, &job{
 			task: -1, prio: -1, ready: ov.start, rem: ov.dur,
 		})
@@ -212,16 +395,10 @@ func effectiveSchedule(cfg Config) (*dma.Schedule, dma.CostModel, bool, error) {
 	a := cfg.Analysis
 	switch cfg.Protocol {
 	case Proposed:
-		if cfg.Sched == nil {
-			return nil, dma.CostModel{}, false, fmt.Errorf("sim: Proposed protocol requires a schedule")
-		}
 		return cfg.Sched, cfg.Cost, true, nil
 	case GiottoDMAA:
 		return dma.GiottoPerCommSchedule(a), cfg.Cost, false, nil
 	case GiottoDMAB:
-		if cfg.Sched == nil {
-			return nil, dma.CostModel{}, false, fmt.Errorf("sim: Giotto-DMA-B requires a schedule")
-		}
 		return dma.GiottoReorder(a, cfg.Sched), cfg.Cost, false, nil
 	case GiottoCPU:
 		return dma.GiottoPerCommSchedule(a), cfg.CPUCost, false, nil
@@ -236,18 +413,46 @@ type taskInstant struct {
 	rel  timeutil.Time
 }
 
+// timeline is the outcome of replaying every communication sequence:
+// task readiness, CPU overhead slices, and — under fault injection — the
+// structured deviation report.
+type timeline struct {
+	readyAt   map[taskInstant]timeutil.Time
+	ovs       []overhead
+	p3viol    int
+	vs        violation.List
+	degraded  map[timeutil.Time]bool
+	staleJobs map[taskInstant]bool
+	retries   int
+	aborted   int
+	stale     int
+	halted    bool
+	haltedAt  timeutil.Time
+}
+
+// markDegraded records that the sequence at absolute instant t deviated
+// from the nominal replay.
+func (tl *timeline) markDegraded(t timeutil.Time) {
+	if tl.degraded == nil {
+		tl.degraded = make(map[timeutil.Time]bool)
+	}
+	tl.degraded[t] = true
+}
+
 // commTimeline plays the transfer sequences of every communication instant
-// in [0, horizon) and returns task readiness times, CPU overhead slices and
-// the number of Property-3 violations. When cpuCopies is true the copy time
-// itself is also charged to the local core (Giotto-CPU).
-func commTimeline(a *let.Analysis, cost dma.CostModel, sched *dma.Schedule, perTaskReady bool, horizon timeutil.Time, cpuCopies bool, tr *trace.Trace) (map[taskInstant]timeutil.Time, []overhead, int) {
-	readyAt := make(map[taskInstant]timeutil.Time)
-	var ovs []overhead
-	viol := 0
+// in [0, horizon) and returns the timeline: task readiness times, CPU
+// overhead slices, the number of Property-3 violations and, when inj is
+// non-nil, the structured fault report. When cpuCopies is true the copy
+// time itself is also charged to the local core (Giotto-CPU).
+func commTimeline(a *let.Analysis, cost dma.CostModel, sched *dma.Schedule, perTaskReady bool, horizon timeutil.Time, cpuCopies bool, tr *trace.Trace, inj Injector, policy DegradePolicy) *timeline {
+	tl := &timeline{
+		readyAt:   make(map[taskInstant]timeutil.Time),
+		staleJobs: make(map[taskInstant]bool),
+	}
 
 	instants := a.Instants()
 	dmaFree := timeutil.Time(0) // when the engine finished the previous burst
-	for hp := timeutil.Time(0); hp < horizon; hp += a.H {
+	for hp := timeutil.Time(0); hp < horizon && !tl.halted; hp += a.H {
 		for idx, t0 := range instants {
 			t := hp + t0
 			if t >= horizon {
@@ -257,54 +462,168 @@ func commTimeline(a *let.Analysis, cost dma.CostModel, sched *dma.Schedule, perT
 			if len(induced) == 0 {
 				continue
 			}
-			s := t
-			if dmaFree > s {
-				s = dmaFree // previous burst spilled over (Property 3 broken)
-			}
-			commDone := make(map[int]timeutil.Time, a.NumComms())
-			for gi, tx := range induced {
-				core := model.CoreID(a.LocalMemory(tx.Comms[0]))
-				prog := cost.ProgramOverhead
-				copyT := cost.CopyCost(dma.TransferSize(a, tx))
-				isr := cost.ISROverhead
-				coreTrack := fmt.Sprintf("core%d", core)
-				name := fmt.Sprintf("d%d@%v", gi+1, t0)
-				if cpuCopies {
-					// The CPU performs the copy itself: one overhead slice
-					// covering setup + copy; no ISR.
-					ovs = append(ovs, overhead{core: core, start: s, dur: prog + copyT})
-					if tr != nil {
-						tr.Span(coreTrack, "copy "+name, trace.CatOverhead, s, prog+copyT)
-					}
-					s += prog + copyT + isr
-				} else {
-					ovs = append(ovs, overhead{core: core, start: s, dur: prog})
-					if tr != nil {
-						tr.Span(coreTrack, "program "+name, trace.CatOverhead, s, prog)
-						tr.Span("dma", name, trace.CatCopy, s+prog, copyT)
-					}
-					s += prog + copyT
-					ovs = append(ovs, overhead{core: core, start: s, dur: isr})
-					if tr != nil {
-						tr.Span(coreTrack, "isr "+name, trace.CatOverhead, s, isr)
-					}
-					s += isr
-				}
-				for _, z := range tx.Comms {
-					commDone[z] = s
-				}
-			}
-			end := s
-			dmaFree = end
-			// Property 3 bookkeeping.
 			var next timeutil.Time
 			if idx+1 < len(instants) {
 				next = hp + instants[idx+1]
 			} else {
 				next = hp + a.H
 			}
+			s := t
+			if dmaFree > s {
+				s = dmaFree // previous burst spilled over (Property 3 broken)
+				if inj != nil {
+					tl.markDegraded(t)
+				}
+			}
+			commDone := make(map[int]timeutil.Time, a.NumComms())
+			staleComms := make(map[int]bool)
+			hardFault := false
+			for gi, tx := range induced {
+				core := model.CoreID(a.LocalMemory(tx.Comms[0]))
+				prog := cost.ProgramOverhead
+				nominal := cost.CopyCost(dma.TransferSize(a, tx))
+				isr := cost.ISROverhead
+				coreTrack := fmt.Sprintf("core%d", core)
+				name := fmt.Sprintf("d%d@%v", gi+1, t0)
+
+				if inj == nil {
+					// Nominal replay: exactly the paper's cost model.
+					copyT := nominal
+					if cpuCopies {
+						// The CPU performs the copy itself: one overhead slice
+						// covering setup + copy; no ISR.
+						tl.ovs = append(tl.ovs, overhead{core: core, start: s, dur: prog + copyT})
+						if tr != nil {
+							tr.Span(coreTrack, "copy "+name, trace.CatOverhead, s, prog+copyT)
+						}
+						s += prog + copyT + isr
+					} else {
+						tl.ovs = append(tl.ovs, overhead{core: core, start: s, dur: prog})
+						if tr != nil {
+							tr.Span(coreTrack, "program "+name, trace.CatOverhead, s, prog)
+							tr.Span("dma", name, trace.CatCopy, s+prog, copyT)
+						}
+						s += prog + copyT
+						tl.ovs = append(tl.ovs, overhead{core: core, start: s, dur: isr})
+						if tr != nil {
+							tr.Span(coreTrack, "isr "+name, trace.CatOverhead, s, isr)
+						}
+						s += isr
+					}
+					for _, z := range tx.Comms {
+						commDone[z] = s
+					}
+					continue
+				}
+
+				// Faulted replay: attempt / backoff / retry loop.
+				done, failed := false, false
+				budget := inj.MaxRetries()
+				wait := timeutil.Time(0) // backoff owed before the next attempt
+				for attempt := 0; ; attempt++ {
+					copyT, verdict := inj.Attempt(t, gi, attempt, nominal)
+					if copyT != nominal {
+						tl.markDegraded(t)
+					}
+					if verdict == AttemptDropped {
+						tl.vs.Addf(violation.RetryExhausted, "Section V (runtime)",
+							"transfer %s hard-dropped by the DMA engine", name)
+						failed = true
+						break
+					}
+					if policy == AbortTransfer && s+wait+prog+copyT+isr > next {
+						// The next attempt (including its backoff) cannot
+						// complete inside the window: skip the transfer
+						// instead of breaking Property 3. The owed backoff
+						// is not charged — the engine would not have waited.
+						tl.vs.Addf(violation.Overrun, "Constraint 10",
+							"transfer %s: attempt %d would end %v past the window end %v; aborted",
+							name, attempt+1, s+wait+prog+copyT+isr-next, next)
+						failed = true
+						break
+					}
+					attName := name
+					if attempt > 0 {
+						attName = fmt.Sprintf("%s#retry%d", name, attempt)
+						tl.retries++
+						tl.markDegraded(t)
+					}
+					s += wait
+					if cpuCopies {
+						tl.ovs = append(tl.ovs, overhead{core: core, start: s, dur: prog + copyT})
+						if tr != nil {
+							tr.Span(coreTrack, "copy "+attName, trace.CatOverhead, s, prog+copyT)
+						}
+						s += prog + copyT + isr
+					} else {
+						tl.ovs = append(tl.ovs, overhead{core: core, start: s, dur: prog})
+						if tr != nil {
+							tr.Span(coreTrack, "program "+attName, trace.CatOverhead, s, prog)
+							tr.Span("dma", attName, trace.CatCopy, s+prog, copyT)
+						}
+						s += prog + copyT
+						tl.ovs = append(tl.ovs, overhead{core: core, start: s, dur: isr})
+						if tr != nil {
+							tr.Span(coreTrack, "isr "+attName, trace.CatOverhead, s, isr)
+						}
+						s += isr
+					}
+					if verdict == AttemptOK {
+						done = true
+						break
+					}
+					// Transient error: the attempt's time is spent; back off
+					// and retry while budget remains.
+					if attempt >= budget {
+						tl.vs.Addf(violation.RetryExhausted, "Section V (runtime)",
+							"transfer %s failed %d attempts (budget %d retries)", name, attempt+1, budget)
+						failed = true
+						break
+					}
+					tl.markDegraded(t)
+					wait = inj.Backoff(attempt + 1)
+				}
+				if done {
+					for _, z := range tx.Comms {
+						commDone[z] = s
+					}
+					continue
+				}
+				if failed {
+					tl.aborted++
+					hardFault = true
+					tl.markDegraded(t)
+					for _, z := range tx.Comms {
+						staleComms[z] = true
+						tl.stale++
+						tl.vs.Addf(violation.StaleRead, "Section V (runtime)",
+							"%s at t=%v reads the previous-cycle value (transfer %s did not complete)",
+							a.CommString(z), t, name)
+					}
+					if policy == FailFast {
+						break
+					}
+				}
+			}
+			end := s
+			dmaFree = end
+			// Property 3 bookkeeping. Under the abort policy a faulted run
+			// never spills (aborts keep the sequence inside the window).
 			if end > next {
-				viol++
+				tl.p3viol++
+				if inj != nil {
+					tl.vs.Addf(violation.Overrun, "Constraint 10",
+						"sequence at t=%v ends %v past the window end %v", t, end-next, next)
+					tl.markDegraded(t)
+					hardFault = true
+				}
+			}
+			if inj != nil && policy == FailFast && hardFault {
+				tl.halted = true
+				tl.haltedAt = t
+				// Releases at the halt instant keep their default
+				// (release-time) readiness; the run is declared halted.
+				break
 			}
 			// Readiness.
 			for _, task := range a.Sys.Tasks {
@@ -312,25 +631,34 @@ func commTimeline(a *let.Analysis, cost dma.CostModel, sched *dma.Schedule, perT
 					continue // not released at this instant
 				}
 				key := taskInstant{task.ID, t}
-				if perTaskReady {
-					ws, rs := a.GroupsFor(t0, task.ID)
+				ws, rs := a.GroupsFor(t0, task.ID)
+				groups := append(append([]int(nil), ws...), rs...)
+				if perTaskReady && !(inj != nil && policy == WaitAll && hardFault) {
 					last := t
-					for _, z := range append(append([]int(nil), ws...), rs...) {
+					for _, z := range groups {
 						if d, ok := commDone[z]; ok && d > last {
 							last = d
 						}
 					}
-					readyAt[key] = last
+					tl.readyAt[key] = last
 				} else {
-					readyAt[key] = end
+					// Giotto readiness — also the WaitAll fallback for an
+					// instant with an unrecoverable fault or overrun.
+					tl.readyAt[key] = end
 				}
-				if tr != nil && readyAt[key] > t {
-					tr.Mark(fmt.Sprintf("core%d", task.Core), task.Name+" ready", trace.CatReady, readyAt[key])
+				for _, z := range groups {
+					if staleComms[z] {
+						tl.staleJobs[key] = true
+						break
+					}
+				}
+				if tr != nil && tl.readyAt[key] > t {
+					tr.Mark(fmt.Sprintf("core%d", task.Core), task.Name+" ready", trace.CatReady, tl.readyAt[key])
 				}
 			}
 		}
 	}
-	return readyAt, ovs, viol
+	return tl
 }
 
 // job is a schedulable entity on one core; task == -1 marks an overhead

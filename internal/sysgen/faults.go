@@ -1,0 +1,36 @@
+// Fault-scenario families for the fuzzing harness: a fixed ladder of
+// faultsim models, from the identity model (which must reproduce the
+// nominal run byte-for-byte) up to a chaos model combining every fault
+// dimension. The ladder is a pure function of the seed, matching the
+// reproduce-from-(seed, family) discipline of the system generator.
+package sysgen
+
+import (
+	"letdma/internal/faultsim"
+	"letdma/internal/timeutil"
+)
+
+// FaultModels returns the canonical fault-scenario ladder for one seed.
+// The first model is always the zero-fault identity; the verify harness
+// asserts it changes nothing. Subsequent models enable one dimension at
+// a time and end in a combined worst case.
+func FaultModels(seed int64) []faultsim.Model {
+	return []faultsim.Model{
+		// identity: nothing injected — the degraded-run oracle requires
+		// this to match the nominal replay exactly.
+		{Seed: seed},
+		// jittery: copy times inflate by up to 10%, nothing fails.
+		{Seed: seed, JitterPermille: 100},
+		// bursty: a fifth of the instants see doubled copy times.
+		{Seed: seed, BurstRate: 0.2, BurstPermille: 2000},
+		// lossy: transient errors mostly absorbed by the retry budget.
+		{Seed: seed, ErrorRate: 0.05, Retries: 3, BackoffBase: timeutil.Microseconds(10)},
+		// droppy: frequent transients with a thin budget plus hard drops,
+		// forcing the degradation policies to act.
+		{Seed: seed, ErrorRate: 0.3, DropRate: 0.05, Retries: 1, BackoffBase: timeutil.Microseconds(10)},
+		// chaos: every dimension at once.
+		{Seed: seed, JitterPermille: 500, BurstRate: 0.3, BurstPermille: 3000,
+			ErrorRate: 0.2, DropRate: 0.05, Retries: 2, BackoffBase: timeutil.Microseconds(20),
+			SlowdownPermille: 1500},
+	}
+}

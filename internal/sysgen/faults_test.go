@@ -1,0 +1,35 @@
+package sysgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFaultModelsDeterministic: the ladder is a pure function of the
+// seed, with the identity model first (the degraded-run oracle depends
+// on both properties).
+func TestFaultModelsDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := FaultModels(seed)
+		b := FaultModels(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two ladders differ", seed)
+		}
+		if len(a) < 4 {
+			t.Fatalf("seed %d: only %d models in the ladder", seed, len(a))
+		}
+		first := a[0]
+		if first.JitterPermille != 0 || first.BurstRate != 0 || first.ErrorRate != 0 ||
+			first.DropRate != 0 || first.SlowdownPermille != 0 {
+			t.Fatalf("seed %d: first model is not the identity: %+v", seed, first)
+		}
+		for i, m := range a {
+			if m.Seed != seed {
+				t.Errorf("seed %d: model %d carries seed %d", seed, i, m.Seed)
+			}
+		}
+	}
+	if reflect.DeepEqual(FaultModels(1), FaultModels(2)) {
+		t.Error("ladders for different seeds are identical (seed not threaded)")
+	}
+}

@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"letdma/internal/combopt"
+	"letdma/internal/dma"
+	"letdma/internal/faultsim"
+	"letdma/internal/let"
+	"letdma/internal/sysgen"
+	"letdma/internal/timeutil"
+)
+
+// TestCheckFaultedSimClean: the full fault ladder on healthy generated
+// schedules must satisfy the graceful-degradation contract — no
+// misclassified violations, no silent deviations, deterministic replays.
+func TestCheckFaultedSimClean(t *testing.T) {
+	for _, fam := range []sysgen.Family{sysgen.Harmonic, sysgen.Coprime, sysgen.Extremes} {
+		sc, err := sysgen.Generate(2, fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := let.Analyze(sc.Sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		cm := dma.DefaultCostModel()
+		comb, err := combopt.Solve(a, cm, nil, dma.MinDelayRatio)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		vs := CheckFaultedSim(a, cm, comb.Sched, sysgen.FaultModels(sc.Seed), 2)
+		if len(vs) != 0 {
+			t.Errorf("%s: degraded-run oracle found %d violations:\n%s", sc.Name, len(vs), vs)
+		}
+	}
+}
+
+// TestCheckFaultedSimIdentityMismatch: a "zero" model with a hidden
+// slowdown is not the identity and must NOT be held to the
+// identity-model contract — but a genuinely deviating latency without a
+// degraded marker would be. This exercises isIdentity's normalization
+// (SlowdownPermille 1000 == 0 == nominal).
+func TestIsIdentityNormalization(t *testing.T) {
+	if !isIdentity(faultsim.Model{Seed: 9}) {
+		t.Error("zero model not recognized as identity")
+	}
+	if !isIdentity(faultsim.Model{Seed: 9, SlowdownPermille: 1000}) {
+		t.Error("SlowdownPermille=1000 (nominal) not recognized as identity")
+	}
+	if isIdentity(faultsim.Model{Seed: 9, SlowdownPermille: 2000}) {
+		t.Error("2x slowdown misclassified as identity")
+	}
+	if isIdentity(faultsim.Model{Seed: 9, DropRate: 0.1}) {
+		t.Error("dropping model misclassified as identity")
+	}
+}
+
+// TestCheckFaultedSimChaosReportsStructured: the chaos model must
+// produce runs whose every deviation is declared — the oracle returning
+// an empty list here is exactly the "never panic, never silently wrong"
+// acceptance criterion, under all three policies (CheckFaultedSim
+// sweeps them internally).
+func TestCheckFaultedSimChaosReportsStructured(t *testing.T) {
+	sc, err := sysgen.Generate(4, sysgen.Coprime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := let.Analyze(sc.Sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := dma.DefaultCostModel()
+	comb, err := combopt.Solve(a, cm, nil, dma.MinTransfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the chaos model (last in the ladder), with a hostile extra:
+	// 8x uniform slowdown on top.
+	models := sysgen.FaultModels(sc.Seed)
+	chaos := models[len(models)-1]
+	chaos.SlowdownPermille = 8000
+	chaos.BackoffBase = timeutil.Microseconds(50)
+	vs := CheckFaultedSim(a, cm, comb.Sched, []faultsim.Model{chaos}, 1)
+	for _, v := range vs {
+		if strings.Contains(v.Detail, "silently") || strings.Contains(v.Detail, "unexpected violation code") {
+			t.Errorf("contract violation under chaos: %s", v)
+		}
+	}
+}

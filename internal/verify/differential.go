@@ -136,6 +136,8 @@ func CheckScenario(sc *sysgen.Scenario, opts Options) *Report {
 	if simSched != nil {
 		rep.ran("sim")
 		rep.Violations.Merge(sc.Name, checkSim(a, cm, simSched, opts.SimHyperperiods))
+		rep.ran("faultsim")
+		rep.Violations.Merge(sc.Name, CheckFaultedSim(a, cm, simSched, sysgen.FaultModels(sc.Seed), opts.SimHyperperiods))
 	}
 	return rep
 }

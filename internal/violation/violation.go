@@ -72,6 +72,19 @@ const (
 	Simulation Code = "simulation"
 	// Channel: a multi-channel DMA assignment is malformed or deadlocks.
 	Channel Code = "channel"
+	// Overrun: under fault injection a transfer sequence ran (or, under
+	// the abort-transfer policy, would have run) past the end of its
+	// communication window at runtime (Property 3 broken by the injected
+	// scenario, not by the schedule).
+	Overrun Code = "overrun"
+	// RetryExhausted: a DMA transfer failed permanently at runtime — a
+	// hard drop, or transient errors past the retry/backoff budget.
+	RetryExhausted Code = "retry-exhausted"
+	// StaleRead: a failed or aborted transfer left a label holding its
+	// previous-cycle value, so a consumer released at that instant reads
+	// stale-but-consistent data (the skip-rule degradation of the
+	// abort-transfer policy).
+	StaleRead Code = "stale-read"
 )
 
 // Violation is one violated feasibility condition.
