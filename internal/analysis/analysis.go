@@ -11,7 +11,7 @@
 // order; standard-library imports are type-checked from source via
 // go/importer's "source" compiler.
 //
-// The suite (see Suite) contains five analyzers:
+// The suite (see Suite) contains eight analyzers:
 //
 //   - detrange: flags `range` over a map with order-dependent loop effects
 //     in solver/model-building packages, where iteration order would leak
@@ -27,6 +27,20 @@
 //     non-test code; generators must take an injected *rand.Rand.
 //   - errdrop: flags call statements that discard an error result in the
 //     cmd/, examples/, and experiments layers.
+//   - nondetflow: interprocedural taint — values born from wall-clock
+//     reads, the global rand source, environment reads, or first-match map
+//     iteration must not reach solver API returns, exported result-struct
+//     fields, or emitted text (see taint.go, callgraph.go).
+//   - sharedwrite: unguarded writes to closure-captured variables inside
+//     goroutine-run closures, including closures handed to worker pools
+//     through func-typed parameters (see freevars.go).
+//   - stalewaiver: a `//letvet:` waiver that no longer suppresses any
+//     diagnostic, or carries an unknown tag, is itself a finding.
+//
+// The last three are built on a small dataflow layer: a package-level call
+// graph with fixpoint per-function summaries (callgraph.go), a
+// flow-insensitive intraprocedural taint pass (taint.go), and a
+// free-variable classifier for closures (freevars.go).
 package analysis
 
 import (
@@ -59,6 +73,16 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	// facts is shared by every pass over the same package in one
+	// RunAnalyzers call: the waiver index and its usage marks (waiver.go).
+	facts *pkgFacts
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers whose
+// contract is explicitly about non-test code (globalrand, errdrop) use it
+// when the loader runs with Options.Tests.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
 // Diagnostic is one finding.
@@ -89,35 +113,15 @@ func (p *Pass) Inspect(f func(ast.Node) bool) {
 	}
 }
 
-// waiverFor reports whether the node's line, or the line directly above
-// it, carries the given `//letvet:<tag>` waiver comment.
-func (p *Pass) waiverFor(n ast.Node, tag string) bool {
-	want := "//letvet:" + tag
-	pos := p.Fset.Position(n.Pos())
-	for _, file := range p.Files {
-		if p.Fset.File(file.Pos()) != p.Fset.File(n.Pos()) {
-			continue
-		}
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, "//letvet:") {
-					continue
-				}
-				cl := p.Fset.Position(c.Pos()).Line
-				if (cl == pos.Line || cl == pos.Line-1) && strings.TrimSpace(c.Text) == want {
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
-
 // RunAnalyzers applies each analyzer to each loaded package it is scoped
-// for and returns the findings sorted by position.
+// for and returns the findings sorted by position. The analyzers run in
+// slice order over each package and share a per-package waiver index;
+// stalewaiver must therefore come last in the slice (as it does in Suite)
+// so that every waiver has had its chance to fire.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, ignoreScope bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		facts := newPkgFacts(pkg)
 		for _, a := range analyzers {
 			if !ignoreScope && a.Scope != nil && !a.Scope(pkg.Path) {
 				continue
@@ -129,6 +133,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, ignoreScope bool) ([]D
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				diags:     &diags,
+				facts:     facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)

@@ -28,18 +28,20 @@ type expectation struct {
 	hit  bool
 }
 
-// Run loads dir as one package, applies the analyzer (ignoring its package
-// scope), and reports mismatches between produced diagnostics and want
-// comments on t.
-func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+// Run loads dir as one package, applies the analyzers in order (ignoring
+// their package scopes), and reports mismatches between produced
+// diagnostics and want comments on t. Passing several analyzers runs them
+// against a shared waiver index, exactly as the driver does — which is how
+// a stalewaiver fixture can observe another analyzer's waiver usage.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
 	pkg, err := analysis.LoadDir(dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, true)
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers, true)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("running analyzers on %s: %v", dir, err)
 	}
 
 	var wants []*expectation

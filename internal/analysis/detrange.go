@@ -36,10 +36,9 @@ func runDetrange(pass *Pass) error {
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		if pass.waiverFor(rs, "ordered") {
-			return true
-		}
-		if node, what := orderDependentEffect(pass, rs.Body); node != nil {
+		// Waiver check comes after effect detection: a waiver only counts
+		// as used when it suppresses a real finding (stalewaiver contract).
+		if node, what := orderDependentEffect(pass, rs.Body); node != nil && !pass.waiverFor(rs, "ordered") {
 			pass.Reportf(rs.Pos(), "range over map has order-dependent effect (%s); iterate sorted keys (ordered.Keys) or waive with //letvet:ordered", what)
 		}
 		return true

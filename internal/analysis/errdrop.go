@@ -39,6 +39,9 @@ func runErrdrop(pass *Pass) error {
 		if !lastResultIsError(pass.TypesInfo, call) {
 			return true
 		}
+		if pass.InTestFile(call.Pos()) {
+			return true // tests are not a user-facing layer
+		}
 		if errdropExempt(pass, call) {
 			return true
 		}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the free-variable / escape classifier for closures
+// (DESIGN.md §13). For a function literal it answers: which variables does
+// the body reference that are declared outside the literal (captured), and
+// which of those does it write? sharedwrite combines this with the spawn
+// summaries of callgraph.go: a write to a captured variable inside a
+// closure that escapes to a goroutine is a data race unless it follows the
+// pre-indexed-slot discipline or a mutex guard.
+
+// captureWrite is one write to a captured variable inside a closure.
+type captureWrite struct {
+	obj  *types.Var // the captured variable
+	node ast.Node   // the writing statement, for position and waivers
+	lhs  ast.Expr   // the written lvalue; nil for x++/x--
+	desc string     // "assignment to x", "append to x", ...
+}
+
+// capture describes one variable captured by a function literal.
+type capture struct {
+	obj    *types.Var
+	reads  int
+	writes []captureWrite
+}
+
+// closureCaptures classifies every variable the literal references but
+// does not declare: package-level variables and anything from enclosing
+// function scopes. Reads are counted; writes (assignment, x++/x--, and a
+// range statement's `=`-form key/value) are recorded with their statement.
+// Writes through a captured pointer (*p = v) count as writes to p.
+func closureCaptures(info *types.Info, lit *ast.FuncLit) map[*types.Var]*capture {
+	caps := make(map[*types.Var]*capture)
+	capturedVar := func(e ast.Expr) *types.Var {
+		id := baseIdent(e)
+		if id == nil || id.Name == "_" {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pos() == token.NoPos {
+			return nil
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return nil // declared by the literal itself (param or local)
+		}
+		return v
+	}
+	record := func(v *types.Var) *capture {
+		c := caps[v]
+		if c == nil {
+			c = &capture{obj: v}
+			caps[v] = c
+		}
+		return c
+	}
+	addWrite := func(v *types.Var, node ast.Node, lhs ast.Expr, desc string) {
+		c := record(v)
+		c.writes = append(c.writes, captureWrite{obj: v, node: node, lhs: lhs, desc: desc})
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.Ident:
+			if v := capturedVar(st); v != nil {
+				record(v).reads++
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && info.Defs[id] != nil {
+					continue // := defining a fresh variable, not a write
+				}
+				v := capturedVar(lhs)
+				if v == nil {
+					continue
+				}
+				desc := "assignment to " + v.Name()
+				if i < len(st.Rhs) {
+					if call, ok := st.Rhs[i].(*ast.CallExpr); ok {
+						if fid, ok := call.Fun.(*ast.Ident); ok && fid.Name == "append" {
+							desc = "append to " + v.Name()
+						}
+					}
+				}
+				addWrite(v, st, lhs, desc)
+			}
+		case *ast.IncDecStmt:
+			if v := capturedVar(st.X); v != nil {
+				addWrite(v, st, st.X, "update of "+v.Name())
+			}
+		case *ast.RangeStmt:
+			if st.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range []ast.Expr{st.Key, st.Value} {
+				if lhs == nil {
+					continue
+				}
+				if v := capturedVar(lhs); v != nil {
+					addWrite(v, st, lhs, "assignment to "+v.Name())
+				}
+			}
+		}
+		return true
+	})
+	return caps
+}
+
+// capturedWrites flattens closureCaptures to just the writes, in source
+// order.
+func capturedWrites(info *types.Info, lit *ast.FuncLit) []captureWrite {
+	var out []captureWrite
+	for _, c := range closureCaptures(info, lit) {
+		out = append(out, c.writes...)
+	}
+	// Deterministic report order regardless of map iteration.
+	sort.Slice(out, func(i, j int) bool { return out[i].node.Pos() < out[j].node.Pos() })
+	return out
+}

@@ -33,13 +33,29 @@ func TestErrdropFixture(t *testing.T) {
 	analysistest.Run(t, fixture(t, "errdrop"), analysis.Errdrop)
 }
 
-// TestRepoIsClean is the acceptance gate: the whole module must be free of
-// letvet findings (same check as `go run ./cmd/letvet ./...`).
+func TestNondetflowFixture(t *testing.T) {
+	analysistest.Run(t, fixture(t, "nondetflow"), analysis.Nondetflow)
+}
+
+func TestSharedwriteFixture(t *testing.T) {
+	analysistest.Run(t, fixture(t, "sharedwrite"), analysis.Sharedwrite)
+}
+
+// TestStalewaiverFixture runs detrange alongside stalewaiver: the live waiver
+// is only live because detrange consults (and marks) it through the shared
+// per-package waiver index.
+func TestStalewaiverFixture(t *testing.T) {
+	analysistest.Run(t, fixture(t, "stalewaiver"), analysis.Detrange, analysis.Stalewaiver)
+}
+
+// TestRepoIsClean is the acceptance gate: the whole module, test files
+// included, must be free of letvet findings (same check as
+// `go run ./cmd/letvet -tests ./...`).
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module analysis is not short")
 	}
-	pkgs, err := analysis.Load(moduleRoot(t), "./...")
+	pkgs, err := analysis.LoadOpts(moduleRoot(t), analysis.Options{Tests: true}, "./...")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}

@@ -27,10 +27,24 @@ type Package struct {
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Imports    []string
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	Standard     bool // part of the standard library
+	DepOnly      bool // reached only as a dependency, not a pattern root
+}
+
+// Options configures Load.
+type Options struct {
+	// Tests also loads _test.go files: in-package test files are
+	// type-checked as part of their package, and external test files
+	// (package foo_test) become separate packages reported under
+	// <import path>_test. The standard library's testing package and its
+	// dependencies are type-checked from source like every other import.
+	Tests bool
 }
 
 // Load enumerates the packages matching the patterns with `go list`,
@@ -38,10 +52,21 @@ type listedPackage struct {
 // Standard-library imports are resolved from source through go/importer,
 // so loading needs no pre-built export data and no external modules.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadOpts(dir, Options{}, patterns...)
+}
+
+// LoadOpts is Load with explicit options.
+func LoadOpts(dir string, opts Options, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-json"}, patterns...)
+	// -deps: module-internal dependencies of the roots must be registered
+	// with the loader even when the patterns don't match them, or imports
+	// reached only transitively would be re-checked from source by the std
+	// importer — yielding a second *types.Package for the same import path
+	// and bogus "X is not X" type errors on targeted runs like
+	// `letvet ./cmd/letdma ./internal/sim`.
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var out, errb bytes.Buffer
@@ -68,15 +93,41 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		done:   make(map[string]*Package),
 	}
 	for _, lp := range listed {
+		if lp.Standard {
+			continue // resolved by the source importer like any std import
+		}
+		if opts.Tests && !lp.DepOnly {
+			// In-package test files are part of the package proper; merging
+			// them here means importers of the package see the augmented
+			// scope, which is how the go tool builds test binaries too.
+			// Dep-only packages keep their build scope, as with the go tool.
+			lp.GoFiles = append(lp.GoFiles, lp.TestGoFiles...)
+		}
 		ld.byPath[lp.ImportPath] = lp
 	}
 	var pkgs []*Package
 	for _, lp := range listed {
+		if lp.Standard || lp.DepOnly {
+			continue // analyzed packages are the pattern roots only
+		}
 		p, err := ld.check(lp.ImportPath)
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, p)
+		if opts.Tests && len(lp.XTestGoFiles) > 0 {
+			// The external test package imports the package under test
+			// through the loader cache like any other module import.
+			files := make([]string, len(lp.XTestGoFiles))
+			for i, f := range lp.XTestGoFiles {
+				files[i] = filepath.Join(lp.Dir, f)
+			}
+			xp, err := ld.checkFiles(lp.ImportPath+"_test", lp.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xp)
+		}
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondetflow is the interprocedural determinism-taint analyzer. A value
+// born from a nondeterminism source — a wall-clock read, the auto-seeded
+// global math/rand source, an environment read, or a first-match selection
+// out of an unordered map range (see taint.go for the full source model) —
+// must not reach a determinism sink in the solver and experiment packages:
+//
+//   - a value returned by an exported function (the package's API),
+//   - a field of an exported result struct (Solution, Schedule, Result,
+//     ...), whether by composite literal or field assignment,
+//   - an argument to an emission call (fmt.Fprint*/Print*, Write*/Add*/
+//     Set*/... statement calls): emitted MILP text and rendered tables.
+//
+// The flow is tracked through package-local calls via the per-function
+// summaries: a helper that returns time.Now().UnixNano(), and a second
+// helper that stores its argument into a Solution field, are both seen
+// through, and the finding lands at the call site where the tainted value
+// crosses into the sink path.
+//
+// Deliberate exemptions keep the analyzer sharp: values of type
+// time.Duration / time.Time at a sink are wall-clock *measurement*
+// (Solution.Runtime, experiment SolveTime) — reporting how long a solve
+// took is not model nondeterminism — and error values are diagnostic
+// text, not model data. Sinks can be waived with `//letvet:nondet
+// <justification>` on the flagged line or the line above.
+var Nondetflow = &Analyzer{
+	Name:  "nondetflow",
+	Doc:   "flags nondeterministic values flowing into solver results or emitted text",
+	Scope: scopeInternal("milp", "letopt", "combopt", "multidma", "dma", "experiments", "sim"),
+	Run:   runNondetflow,
+}
+
+func runNondetflow(pass *Pass) error {
+	e := newTaintEngine(pass)
+
+	// sinkSums: for each function, the operand bits (paramBit form) whose
+	// values reach a sink inside it — directly or through further calls.
+	// Fixpoint so that sink paths compose across package-local helpers.
+	sinkSums := make(map[*types.Func]uint64, len(e.order))
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range e.order {
+			m := scanSinks(pass, e, sinkSums, fn, false)
+			if m != sinkSums[fn] {
+				sinkSums[fn] = m
+				changed = true
+			}
+		}
+	}
+	for _, fn := range e.order {
+		scanSinks(pass, e, sinkSums, fn, true)
+	}
+	return nil
+}
+
+// scanSinks walks fn's body, evaluates the taint mask of every expression
+// in sink position, and returns the union of param bits seen at sinks
+// (fn's sink summary). With report set it also emits a diagnostic for
+// every nondet-tainted, non-exempt, non-waived sink.
+func scanSinks(pass *Pass, e *taintEngine, sinkSums map[*types.Func]uint64, fn *types.Func, report bool) uint64 {
+	info := pass.TypesInfo
+	vars := e.funcVars(fn)
+	var reached uint64
+
+	sink := func(expr ast.Expr, sinkType types.Type, format string, args ...any) {
+		mask := e.exprMask(vars, expr)
+		if mask == 0 {
+			return
+		}
+		if sinkType != nil && exemptSinkType(sinkType) {
+			return
+		}
+		reached |= mask & allParamBits
+		if report && mask&nondetBit != 0 && !pass.waiverFor(expr, "nondet") {
+			args = append(args, " — derive it from seeded/ordered inputs or waive with //letvet:nondet")
+			pass.Reportf(expr.Pos(), format+"%s", args...)
+		}
+	}
+
+	exported := ast.IsExported(fn.Name())
+	ast.Inspect(e.decls[fn].Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			if !exported {
+				return true
+			}
+			for _, r := range st.Results {
+				tv := info.Types[r]
+				sink(r, tv.Type, "nondeterministic value returned by exported %s", fn.Name())
+			}
+		case *ast.FuncLit:
+			// Returns inside a literal leave the literal, not fn; but the
+			// literal's other sinks (emissions, field stores) still count,
+			// so walk it with returns masked off.
+			ast.Inspect(st.Body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.ReturnStmt); ok {
+					return false
+				}
+				scanSinkNode(pass, e, sinkSums, m, sink)
+				return true
+			})
+			return false
+		default:
+			scanSinkNode(pass, e, sinkSums, n, sink)
+		}
+		return true
+	})
+	return reached
+}
+
+// scanSinkNode handles the sink positions that do not depend on the
+// enclosing function: exported-struct stores, emission calls, and calls
+// into functions whose sink summary says an operand reaches a sink.
+func scanSinkNode(pass *Pass, e *taintEngine, sinkSums map[*types.Func]uint64, n ast.Node,
+	sink func(ast.Expr, types.Type, string, ...any)) {
+	info := pass.TypesInfo
+	switch st := n.(type) {
+	case *ast.CompositeLit:
+		name, fields := exportedStruct(info.Types[st].Type)
+		if fields == nil {
+			return
+		}
+		for i, elt := range st.Elts {
+			var fieldName string
+			value := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					fieldName = id.Name
+				}
+				value = kv.Value
+			} else if i < fields.NumFields() {
+				fieldName = fields.Field(i).Name()
+			}
+			sink(value, fieldTypeOf(fields, fieldName), "nondeterministic value stored in %s.%s", name, fieldName)
+		}
+	case *ast.AssignStmt:
+		broadcast := len(st.Rhs) == 1 && len(st.Lhs) > 1
+		for i, lhs := range st.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || selectorPkg(info, sel) != nil {
+				continue
+			}
+			name, fields := exportedStruct(info.Types[sel.X].Type)
+			if fields == nil {
+				continue
+			}
+			rhs := st.Rhs[0]
+			if !broadcast {
+				if i >= len(st.Rhs) {
+					continue
+				}
+				rhs = st.Rhs[i]
+			}
+			sink(rhs, fieldTypeOf(fields, sel.Sel.Name), "nondeterministic value stored in %s.%s", name, sel.Sel.Name)
+		}
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, arg := range emissionArgs(info, call) {
+			sink(arg, info.Types[arg].Type, "nondeterministic value emitted via %s", callName(call))
+		}
+	case *ast.CallExpr:
+		callee := calleeOf(info, st)
+		if callee == nil {
+			return
+		}
+		sum := sinkSums[callee]
+		if sum == 0 {
+			return
+		}
+		nparams := len(paramObjs(callee))
+		for j, op := range callOperands(st, callee, info) {
+			if sum&paramBit(operandIndex(j, nparams)) != 0 {
+				sink(op, info.Types[op].Type, "nondeterministic value passed to %s, which stores or emits it", callee.Name())
+			}
+		}
+	}
+}
+
+// emissionArgs returns the argument expressions of an emission-style call
+// in statement position: the fmt print family (minus the writer operand)
+// and method calls whose name matches detrange's emission prefixes
+// (Write*, Print*, Add*, Set*, Emit*, Record*, Append*, Push*).
+func emissionArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if pkg := selectorPkg(info, sel); pkg != nil {
+		if pkg.Path() != "fmt" {
+			return nil
+		}
+		name := sel.Sel.Name
+		switch {
+		case len(name) >= 6 && name[:6] == "Fprint":
+			if len(call.Args) > 0 {
+				return call.Args[1:]
+			}
+		case len(name) >= 5 && name[:5] == "Print":
+			return call.Args
+		}
+		return nil
+	}
+	if emissionName(sel.Sel.Name) {
+		return call.Args
+	}
+	return nil
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return exprString(sel)
+	}
+	return "call"
+}
+
+// exportedStruct returns the name and field list of t when it is (a
+// pointer to) an exported named struct type — the shape of the module's
+// result types (Solution, Schedule, Result, ...).
+func exportedStruct(t types.Type) (string, *types.Struct) {
+	if t == nil {
+		return "", nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !named.Obj().Exported() {
+		return "", nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", nil
+	}
+	return named.Obj().Name(), st
+}
+
+// fieldTypeOf returns the type of the named field, or nil when unknown.
+func fieldTypeOf(st *types.Struct, name string) types.Type {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i).Type()
+		}
+	}
+	return nil
+}
+
+// exemptSinkType: wall-clock measurement (time.Duration, time.Time) is
+// reporting, not model data; errors are diagnostic text.
+func exemptSinkType(t types.Type) bool {
+	if namedAs(t, "time", "Duration") || namedAs(t, "time", "Time") {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

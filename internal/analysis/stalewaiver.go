@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Stalewaiver keeps the waiver mechanism honest: a `//letvet:<tag>`
+// comment is only legitimate while it suppresses a real diagnostic. When
+// the code under a waiver is fixed or deleted, the waiver must go too —
+// otherwise it silently licenses a future regression on that line. A
+// waiver with a tag no analyzer consults (a typo, or a check that was
+// renamed) has never suppressed anything and is flagged the same way.
+//
+// The analyzer reads the per-package waiver index (waiver.go), where each
+// suppression marks its waiver as used. It must therefore run after every
+// other analyzer of the suite — it is last in Suite, and RunAnalyzers
+// applies analyzers in slice order per package.
+var Stalewaiver = &Analyzer{
+	Name: "stalewaiver",
+	Doc:  "flags //letvet: waivers that no longer suppress any diagnostic",
+	Run:  runStalewaiver,
+}
+
+func runStalewaiver(pass *Pass) error {
+	for _, w := range pass.facts.waivers {
+		if !knownWaiverTags[w.Tag] {
+			pass.Reportf(w.at, "unknown letvet waiver tag %q (known tags: %s)", w.Tag, knownTagList())
+			continue
+		}
+		if !w.used {
+			pass.Reportf(w.at, "stale //letvet:%s waiver: it suppresses no diagnostic here; remove it", w.Tag)
+		}
+	}
+	return nil
+}
+
+func knownTagList() string {
+	tags := make([]string, 0, len(knownWaiverTags))
+	for t := range knownWaiverTags {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return strings.Join(tags, ", ")
+}

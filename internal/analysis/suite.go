@@ -1,4 +1,6 @@
 package analysis
 
-// Suite is the letvet analyzer suite in its canonical order.
-var Suite = []*Analyzer{Detrange, Ticktime, Floateq, Globalrand, Errdrop}
+// Suite is the letvet analyzer suite in its canonical order. Stalewaiver
+// must stay last: it audits the waiver-usage marks the other analyzers
+// leave behind (see RunAnalyzers).
+var Suite = []*Analyzer{Detrange, Ticktime, Floateq, Globalrand, Errdrop, Nondetflow, Sharedwrite, Stalewaiver}

@@ -1,0 +1,517 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the taint/dataflow layer of the engine (DESIGN.md §13): a
+// flow-insensitive forward taint pass over each function body, with
+// interprocedural propagation through the per-function summaries of
+// callgraph.go. Taint labels are bitmasks:
+//
+//   - bit 0 (nondetBit): the value derives from a nondeterminism source —
+//     a wall-clock read (time.Now, time.Since), the auto-seeded global
+//     math/rand source, an environment read (os.Getenv, os.LookupEnv,
+//     os.Environ), or a first-match selection out of an unordered map
+//     range (a map range whose body can break or return).
+//   - bit i+1 (paramBit(i)): the value derives from operand i of the
+//     enclosing function, in paramObjs order (receiver first). These bits
+//     are what turn one function's dataflow into its callers' summaries.
+//
+// Variables are tracked per (object, field-name) pair: an assignment to
+// st.deadline taints only the deadline field of st, not every later read
+// of st — field paths deeper than one selector collapse onto the last
+// selector name. The pass is flow-insensitive (no kills): once tainted
+// within a function, always tainted. Both choices trade precision for
+// smallness and are documented as such.
+//
+// Honest limits: calls without a package-local summary (other packages,
+// interfaces, function values) default to propagating the union of their
+// operands' taint — fmt.Sprintf of a tainted value stays tainted — but
+// cannot *introduce* taint; closures are analyzed as part of their
+// enclosing function's body, not summarized; control dependence (an if on
+// a tainted condition assigning a constant) is not tracked.
+//
+// Values of the exempt sink types (time.Duration, time.Time, error — see
+// exemptSinkType) do not contribute taint to aggregates: a struct literal
+// carrying Runtime: time.Since(start), or a function returning (result,
+// error) where only the error is order-dependent, stays clean as a whole.
+// Without this, every Solution literal and every (value, error) summary
+// would launder wall-clock measurement or diagnostic-text taint onto the
+// model data next to it, which is exactly what the sink-side exemption
+// says is fine.
+
+// nondetBit marks values derived from a nondeterminism source.
+const nondetBit uint64 = 1
+
+// paramBit is the taint bit for operand i (paramObjs order). Operand
+// lists beyond 62 entries fold onto the last bit.
+func paramBit(i int) uint64 {
+	if i > 62 {
+		i = 62
+	}
+	return 1 << uint(i+1)
+}
+
+const allParamBits = ^uint64(0) &^ nondetBit
+
+// taintKey addresses one tracked location: a variable, or one named field
+// of a variable (field == "" is the variable as a whole).
+type taintKey struct {
+	obj   types.Object
+	field string
+}
+
+// taintEngine holds the package's function summaries. A summary's mask
+// describes the union of the function's result values: nondetBit if the
+// results carry source taint even with clean operands, paramBit(i) if
+// operand i flows into the results.
+type taintEngine struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	order []*types.Func
+	sums  map[*types.Func]uint64
+
+	varsCache map[*types.Func]map[taintKey]uint64
+}
+
+// newTaintEngine builds the summaries for the pass's package by iterating
+// the per-function analysis to a fixpoint over the call graph. Masks only
+// grow, so the fixpoint terminates.
+func newTaintEngine(pass *Pass) *taintEngine {
+	decls, order := collectFuncs(pass)
+	e := &taintEngine{
+		pass:  pass,
+		decls: decls,
+		order: order,
+		sums:  make(map[*types.Func]uint64, len(order)),
+	}
+	// Materialize every summary before iterating: callMask distinguishes "a
+	// summarized function" (apply the summary, even when it is 0 = results
+	// untouched by operands) from "an unknown callee" (conservative operand
+	// union) by map presence, so a clean function must still be present.
+	for _, fn := range order {
+		e.sums[fn] = 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range e.order {
+			m := e.resultMask(fn, e.analyzeVars(fn))
+			if m != e.sums[fn] {
+				e.sums[fn] = m
+				changed = true
+			}
+		}
+	}
+	// Cache the final per-function var masks for the analyzers' sink scans.
+	e.varsCache = make(map[*types.Func]map[taintKey]uint64, len(order))
+	for _, fn := range e.order {
+		e.varsCache[fn] = e.analyzeVars(fn)
+	}
+	return e
+}
+
+// funcVars returns the stable taint mask of every tracked location in fn.
+func (e *taintEngine) funcVars(fn *types.Func) map[taintKey]uint64 {
+	return e.varsCache[fn]
+}
+
+// analyzeVars runs the intraprocedural pass over fn's body to its own
+// fixpoint: operands seed their paramBits, then assignments, declarations
+// and range statements propagate expression masks until nothing changes.
+// Closure bodies are walked as part of the function, so taint flows in and
+// out of function literals through their captured variables.
+func (e *taintEngine) analyzeVars(fn *types.Func) map[taintKey]uint64 {
+	vars := make(map[taintKey]uint64)
+	for i, p := range paramObjs(fn) {
+		vars[taintKey{p, ""}] = paramBit(i)
+	}
+	body := e.decls[fn].Body
+	for {
+		changed := false
+		taint := func(k taintKey, m uint64) {
+			if m != 0 && vars[k]|m != vars[k] {
+				vars[k] |= m
+				changed = true
+			}
+		}
+		taintLval := func(lhs ast.Expr, m uint64) {
+			if m == 0 {
+				return
+			}
+			if k, ok := lvalKey(e.pass.TypesInfo, lhs); ok {
+				taint(k, m)
+			}
+		}
+		// assign keeps field sensitivity through struct construction:
+		// x := T{f: tainted} taints only (x, f), not all of x, mirroring
+		// how x.f = tainted is tracked. Everything else goes through
+		// taintLval with the full expression mask.
+		assign := func(lhs, rhs ast.Expr) {
+			k, ok := lvalKey(e.pass.TypesInfo, lhs)
+			if ok && k.field == "" {
+				if lit := structLit(e.pass.TypesInfo, rhs); lit != nil {
+					var rest uint64
+					for _, elt := range lit.Elts {
+						kv, okKV := elt.(*ast.KeyValueExpr)
+						if !okKV {
+							rest |= e.eltMask(vars, elt)
+							continue
+						}
+						id, okID := kv.Key.(*ast.Ident)
+						if !okID {
+							rest |= e.eltMask(vars, kv.Value)
+							continue
+						}
+						taint(taintKey{k.obj, id.Name}, e.eltMask(vars, kv.Value))
+					}
+					taint(k, rest)
+					return
+				}
+			}
+			taintLval(lhs, e.exprMask(vars, rhs))
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+					m := e.exprMask(vars, st.Rhs[0])
+					for _, l := range st.Lhs {
+						taintLval(l, m)
+					}
+					break
+				}
+				for i, l := range st.Lhs {
+					if i < len(st.Rhs) {
+						assign(l, st.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Values) == 1 && len(st.Names) > 1 {
+					m := e.exprMask(vars, st.Values[0])
+					for _, name := range st.Names {
+						taintLval(name, m)
+					}
+					break
+				}
+				for i, name := range st.Names {
+					if i < len(st.Values) {
+						assign(name, st.Values[i])
+					}
+				}
+			case *ast.RangeStmt:
+				m := e.exprMask(vars, st.X)
+				tv, ok := e.pass.TypesInfo.Types[st.X]
+				if ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap && hasEarlyExit(st.Body) {
+						// First-match selection out of an unordered map:
+						// which element the loop stops on is a fresh
+						// nondeterminism source.
+						m |= nondetBit
+					}
+				}
+				if st.Key != nil {
+					taintLval(st.Key, m)
+				}
+				if st.Value != nil {
+					taintLval(st.Value, m)
+				}
+			}
+			return true
+		})
+		if !changed {
+			return vars
+		}
+	}
+}
+
+// resultMask is the union mask of fn's returned values, the function's
+// summary. Return statements inside nested function literals belong to
+// the literal, not fn, and are skipped.
+func (e *taintEngine) resultMask(fn *types.Func, vars map[taintKey]uint64) uint64 {
+	decl := e.decls[fn]
+	sig := fn.Type().(*types.Signature)
+	var mask uint64
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			// Naked return of named results.
+			for i := 0; i < sig.Results().Len(); i++ {
+				res := sig.Results().At(i)
+				if exemptSinkType(res.Type()) {
+					continue
+				}
+				mask |= vars[taintKey{res, ""}]
+			}
+			return true
+		}
+		for _, r := range ret.Results {
+			if e.exemptExpr(r) {
+				// An order-dependent error next to a clean value must not
+				// taint the whole summary: the caller's value result is
+				// still deterministic.
+				continue
+			}
+			mask |= e.exprMask(vars, r)
+		}
+		return true
+	})
+	return mask
+}
+
+// exprMask evaluates the taint mask of an expression under the current
+// variable masks.
+func (e *taintEngine) exprMask(vars map[taintKey]uint64, expr ast.Expr) uint64 {
+	info := e.pass.TypesInfo
+	switch x := expr.(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return 0
+		}
+		return vars[taintKey{obj, ""}]
+	case *ast.SelectorExpr:
+		if selectorPkg(info, x) != nil {
+			return 0 // qualified identifier, not a field read
+		}
+		m := e.exprMask(vars, x.X)
+		if base := baseIdent(x.X); base != nil {
+			if obj := info.Uses[base]; obj != nil {
+				m |= vars[taintKey{obj, x.Sel.Name}]
+			}
+		}
+		return m
+	case *ast.CallExpr:
+		return e.callMask(vars, x)
+	case *ast.BinaryExpr:
+		return e.exprMask(vars, x.X) | e.exprMask(vars, x.Y)
+	case *ast.UnaryExpr:
+		return e.exprMask(vars, x.X)
+	case *ast.StarExpr:
+		return e.exprMask(vars, x.X)
+	case *ast.ParenExpr:
+		return e.exprMask(vars, x.X)
+	case *ast.IndexExpr:
+		// A tainted index into clean data is still a nondeterministic
+		// choice of element, so both operands count.
+		return e.exprMask(vars, x.X) | e.exprMask(vars, x.Index)
+	case *ast.SliceExpr:
+		return e.exprMask(vars, x.X)
+	case *ast.TypeAssertExpr:
+		return e.exprMask(vars, x.X)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				m |= e.eltMask(vars, kv.Value)
+				if _, isIdent := kv.Key.(*ast.Ident); !isIdent {
+					m |= e.exprMask(vars, kv.Key) // map/array key expression
+				}
+				continue
+			}
+			m |= e.eltMask(vars, elt)
+		}
+		return m
+	}
+	return 0
+}
+
+// eltMask is exprMask for one element of an aggregate: exempt-typed values
+// (wall-clock measurement, diagnostic errors) contribute nothing, so
+// Runtime: time.Since(start) does not taint the Solution around it.
+func (e *taintEngine) eltMask(vars map[taintKey]uint64, expr ast.Expr) uint64 {
+	if e.exemptExpr(expr) {
+		return 0
+	}
+	return e.exprMask(vars, expr)
+}
+
+// exemptExpr reports whether the expression's static type is one of the
+// exempt measurement/diagnostic types of exemptSinkType.
+func (e *taintEngine) exemptExpr(expr ast.Expr) bool {
+	tv, ok := e.pass.TypesInfo.Types[expr]
+	return ok && tv.Type != nil && exemptSinkType(tv.Type)
+}
+
+// callMask evaluates a call: a conversion passes its operand through, a
+// source call introduces nondetBit, a summarized package function applies
+// its summary to the operands, and anything else conservatively unions
+// its operands (propagation without introduction).
+func (e *taintEngine) callMask(vars map[taintKey]uint64, call *ast.CallExpr) uint64 {
+	info := e.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return e.exprMask(vars, call.Args[0])
+		}
+		return 0
+	}
+	callee := calleeOf(info, call)
+	if callee != nil {
+		if isNondetSource(callee) {
+			return nondetBit
+		}
+		if sum, ok := e.sums[callee]; ok {
+			m := sum & nondetBit
+			nparams := len(paramObjs(callee))
+			for i, op := range callOperands(call, callee, info) {
+				if sum&paramBit(operandIndex(i, nparams)) != 0 {
+					m |= e.exprMask(vars, op)
+				}
+			}
+			return m
+		}
+	}
+	// No summary: union every operand, including a method receiver.
+	var m uint64
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && selectorPkg(info, sel) == nil {
+		m |= e.exprMask(vars, sel.X)
+	}
+	for _, a := range call.Args {
+		m |= e.exprMask(vars, a)
+	}
+	return m
+}
+
+// isNondetSource reports whether fn is one of the nondeterminism sources:
+// wall-clock reads, the auto-seeded global math/rand functions, or
+// environment reads.
+func isNondetSource(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "time":
+		return fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"
+	case "math/rand", "math/rand/v2":
+		// Only the package-level functions: methods on an injected
+		// *rand.Rand are the sanctioned pattern.
+		sig, _ := fn.Type().(*types.Signature)
+		return sig != nil && sig.Recv() == nil && globalRandFuncs[fn.Name()]
+	case "os":
+		return fn.Name() == "Getenv" || fn.Name() == "LookupEnv" || fn.Name() == "Environ"
+	}
+	return false
+}
+
+// structLit unwraps &T{...} / (T{...}) down to a composite literal of a
+// struct type, or nil.
+func structLit(info *types.Info, e ast.Expr) *ast.CompositeLit {
+	for {
+		switch x := e.(type) {
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CompositeLit:
+			tv, ok := info.Types[x]
+			if !ok || tv.Type == nil {
+				return nil
+			}
+			if _, isStruct := tv.Type.Underlying().(*types.Struct); isStruct {
+				return x
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// lvalKey maps an assignable expression onto its tracked location:
+// x → (x, ""), x.f / x.f[i] / (*x).f → (x, f), x[i] / *x → (x, "").
+func lvalKey(info *types.Info, lhs ast.Expr) (taintKey, bool) {
+	field := ""
+	e := lhs
+loop:
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if field == "" {
+				field = x.Sel.Name
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			break loop
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return taintKey{}, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return taintKey{}, false
+	}
+	return taintKey{obj, field}, true
+}
+
+// hasEarlyExit reports whether a loop body can leave the loop before
+// visiting every element: an unlabeled break at the loop's own level, any
+// labeled branch or goto, or a return. Unlabeled breaks binding to nested
+// loops, switches and selects do not count, and function literals are
+// opaque (their returns leave the literal, not the loop).
+func hasEarlyExit(body *ast.BlockStmt) bool {
+	var stmtExits func(s ast.Stmt, breakBinds bool) bool
+	anyExits := func(stmts []ast.Stmt, breakBinds bool) bool {
+		for _, s := range stmts {
+			if stmtExits(s, breakBinds) {
+				return true
+			}
+		}
+		return false
+	}
+	stmtExits = func(s ast.Stmt, breakBinds bool) bool {
+		switch st := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			if st.Label != nil {
+				return true // labeled break/continue/goto: conservative
+			}
+			return st.Tok == token.BREAK && breakBinds
+		case *ast.BlockStmt:
+			return anyExits(st.List, breakBinds)
+		case *ast.IfStmt:
+			return anyExits(st.Body.List, breakBinds) || st.Else != nil && stmtExits(st.Else, breakBinds)
+		case *ast.LabeledStmt:
+			return stmtExits(st.Stmt, breakBinds)
+		case *ast.ForStmt:
+			return anyExits(st.Body.List, false)
+		case *ast.RangeStmt:
+			return anyExits(st.Body.List, false)
+		case *ast.SwitchStmt:
+			return anyExits(st.Body.List, false)
+		case *ast.TypeSwitchStmt:
+			return anyExits(st.Body.List, false)
+		case *ast.SelectStmt:
+			return anyExits(st.Body.List, false)
+		case *ast.CaseClause:
+			return anyExits(st.Body, breakBinds)
+		case *ast.CommClause:
+			return anyExits(st.Body, breakBinds)
+		}
+		return false
+	}
+	return anyExits(body.List, true)
+}

@@ -1,0 +1,108 @@
+// Fixture for the nondetflow analyzer: interprocedural taint from
+// nondeterminism sources (wall clock, global rand, environment, first-match
+// map iteration) into exported returns, result-struct fields, and emitted
+// text — plus the exemptions that keep the analyzer sharp.
+package nondetflow
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Solution mimics a solver result type.
+type Solution struct {
+	Obj     float64
+	Tag     string
+	Runtime time.Duration
+}
+
+// seed is unexported; the wall-clock taint flows through its summary.
+func seed() int64 { return time.Now().UnixNano() }
+
+// NewSeed leaks the wall clock through a helper into the API.
+func NewSeed() int64 {
+	s := seed()
+	return s // want "nondeterministic value returned by exported NewSeed"
+}
+
+// AnyKey returns a first-match selection out of an unordered map.
+func AnyKey(m map[string]int) string {
+	for k := range m {
+		return k // want "nondeterministic value returned by exported AnyKey"
+	}
+	return ""
+}
+
+// Build stores an environment read into a result field.
+func Build(obj float64) *Solution {
+	sol := &Solution{Obj: obj}
+	sol.Tag = os.Getenv("LETDMA_TAG") // want "nondeterministic value stored in Solution.Tag"
+	return sol
+}
+
+// Report emits a first-match map element.
+func Report(w io.Writer, m map[string]int) {
+	first := ""
+	for k := range m {
+		first = k
+		break
+	}
+	fmt.Fprintf(w, "first=%s\n", first) // want "nondeterministic value emitted via fmt.Fprintf"
+}
+
+type table struct{ rows []string }
+
+func (t *table) Add(row string) { t.rows = append(t.rows, row) }
+
+// record forwards v into an emission-style call; its sink summary carries
+// the finding back to the call site that supplies the tainted value.
+func record(t *table, v string) {
+	t.Add(v)
+}
+
+// Render passes a global-rand label through a helper into the table.
+func Render(t *table) {
+	label := fmt.Sprint(rand.Int())
+	record(t, label) // want "nondeterministic value passed to record, which stores or emits it"
+}
+
+// Timed measures wall-clock runtime: time.Duration sinks are exempt.
+func Timed(obj float64) *Solution {
+	start := time.Now()
+	sol := &Solution{Obj: obj}
+	sol.Runtime = time.Since(start)
+	return sol
+}
+
+// Check returns only a diagnostic error: error sinks are exempt even when
+// the message depends on map iteration order.
+func Check(m map[string]int) error {
+	for k := range m {
+		return fmt.Errorf("unexpected key %q", k)
+	}
+	return nil
+}
+
+// Draw uses an injected generator — the sanctioned pattern, not a source.
+func Draw(rng *rand.Rand) int {
+	return rng.Int()
+}
+
+// Sum ranges the whole map: without an early exit there is no first-match
+// selection, and the order-independence of the sum is detrange's concern.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Stamp is waived: the wall clock names a log file, it is not model data.
+func Stamp() string {
+	//letvet:nondet log-file suffix, reviewed: not model data
+	return fmt.Sprint(time.Now().UnixNano())
+}

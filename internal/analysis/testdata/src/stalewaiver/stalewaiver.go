@@ -1,0 +1,39 @@
+// Fixture for the stalewaiver analyzer, run together with detrange so a
+// live waiver has a diagnostic to suppress: a waiver is legitimate exactly
+// while it fires, stale once the code under it stops triggering, and an
+// unknown tag has never suppressed anything.
+package stalewaiver
+
+import "sort"
+
+// liveWaiver suppresses a real detrange finding: not stale.
+func liveWaiver(vars map[string]int) []string {
+	var out []string
+	//letvet:ordered output is sorted immediately below
+	for name := range vars {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// staleWaiver sits on a loop that no longer has an order-dependent effect.
+func staleWaiver(vars map[string]int) int {
+	n := len(vars)
+	//letvet:ordered nothing order-dependent here anymore // want "stale //letvet:ordered waiver: it suppresses no diagnostic here; remove it"
+	for range vars {
+		_ = n
+	}
+	return n
+}
+
+// typoWaiver carries a tag no analyzer consults; the loop is deliberately
+// inert so the only finding is the tag itself.
+func typoWaiver(vars map[string]int) int {
+	n := len(vars)
+	//letvet:orderd typo never suppressed anything // want "unknown letvet waiver tag \"orderd\""
+	for range vars {
+		_ = n
+	}
+	return n
+}

@@ -8,9 +8,12 @@ import (
 )
 
 // scopeInternal builds a Scope matching the module's internal packages with
-// the given base names (e.g. "letopt" matches letdma/internal/letopt).
+// the given base names (e.g. "letopt" matches letdma/internal/letopt). An
+// external test package loaded under Options.Tests shares its base
+// package's scope: letdma/internal/letopt_test matches "letopt" too.
 func scopeInternal(names ...string) func(string) bool {
 	return func(path string) bool {
+		path = strings.TrimSuffix(path, "_test")
 		for _, n := range names {
 			if strings.HasSuffix(path, "internal/"+n) {
 				return true

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A waiver is one `//letvet:<tag>` comment. The tag runs to the first
+// space; the rest of the line is free-form justification text, which review
+// etiquette (README "Determinism & static analysis") requires. A waiver
+// suppresses a diagnostic on its own line or the line directly below, and
+// records when it does so: the stalewaiver analyzer reports waivers that
+// never fired.
+type waiver struct {
+	Tag  string
+	Pos  token.Position
+	at   token.Pos // comment position, for stalewaiver's diagnostics
+	used bool
+}
+
+// knownWaiverTags are the tags an analyzer actually consults. Anything
+// else is a typo or a check that no longer exists, and stalewaiver flags it.
+var knownWaiverTags = map[string]bool{
+	"ordered":     true, // detrange
+	"floateq":     true, // floateq
+	"nondet":      true, // nondetflow
+	"sharedwrite": true, // sharedwrite
+}
+
+// waiverKey addresses a waiver by the file and line of its comment.
+type waiverKey struct {
+	file string
+	line int
+}
+
+// pkgFacts is per-package state shared by every analyzer pass of one
+// RunAnalyzers call: the precomputed waiver index (one comment-list scan
+// per package instead of one per waiverFor query) and the usage marks the
+// stalewaiver analyzer reads after the other analyzers have run.
+type pkgFacts struct {
+	waivers []*waiver
+	byLine  map[waiverKey]*waiver
+}
+
+// newPkgFacts scans the package's comments once and indexes every
+// `//letvet:` waiver by (file, line).
+func newPkgFacts(pkg *Package) *pkgFacts {
+	f := &pkgFacts{byLine: make(map[waiverKey]*waiver)}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				tag, ok := waiverTag(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				w := &waiver{Tag: tag, Pos: pos, at: c.Pos()}
+				f.waivers = append(f.waivers, w)
+				f.byLine[waiverKey{pos.Filename, pos.Line}] = w
+			}
+		}
+	}
+	return f
+}
+
+// waiverTag extracts the tag of a `//letvet:<tag> [justification]` comment.
+func waiverTag(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//letvet:")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// waiverFor reports whether the node's line, or the line directly above
+// it, carries a `//letvet:<tag>` waiver, and marks the waiver used.
+// Analyzers must call it only when a diagnostic would otherwise be
+// reported, so that "used" means "suppressed a real finding" — that is the
+// contract stalewaiver enforces.
+func (p *Pass) waiverFor(n ast.Node, tag string) bool {
+	pos := p.Fset.Position(n.Pos())
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if w := p.facts.byLine[waiverKey{pos.Filename, line}]; w != nil && w.Tag == tag {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}

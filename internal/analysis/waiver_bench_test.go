@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The benchmarks below compare waiverFor's precomputed (file, line) index
+// against the linear scan it replaced: walking every comment of every file
+// in the package on each query. On a package with F files of C comments,
+// the legacy scan made each diagnostic site O(F*C); the index answers from
+// two map lookups after a single per-package scan in newPkgFacts.
+
+// benchWaiverPkg parses nFiles synthetic files of nFuncs commented
+// functions each, one waiver per eight functions, and returns the package
+// along with the query nodes: the range statement of every function, which
+// sits directly under the waiver when the function has one.
+func benchWaiverPkg(b *testing.B, nFiles, nFuncs int) (*Package, []ast.Node) {
+	b.Helper()
+	fset := token.NewFileSet()
+	pkg := &Package{Path: "bench", Fset: fset}
+	var queries []ast.Node
+	for f := 0; f < nFiles; f++ {
+		var sb strings.Builder
+		sb.WriteString("package bench\n\n")
+		for i := 0; i < nFuncs; i++ {
+			fmt.Fprintf(&sb, "// F%[1]d_%[2]d does synthetic work.\nfunc F%[1]d_%[2]d(m map[string]int) int {\n", f, i)
+			sb.WriteString("\tn := 0\n")
+			if i%8 == 0 {
+				sb.WriteString("\t//letvet:ordered benchmark waiver\n")
+			}
+			sb.WriteString("\tfor range m {\n\t\tn++\n\t}\n\treturn n\n}\n\n")
+		}
+		file, err := parser.ParseFile(fset, fmt.Sprintf("bench%d.go", f), sb.String(), parser.ParseComments)
+		if err != nil {
+			b.Fatalf("parsing synthetic file: %v", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			queries = append(queries, fd.Body.List[1])
+		}
+	}
+	return pkg, queries
+}
+
+// legacyWaiverFor is the pre-index implementation, kept here as the
+// benchmark baseline: rescan every comment of every file per query.
+func legacyWaiverFor(p *Pass, n ast.Node, tag string) bool {
+	pos := p.Fset.Position(n.Pos())
+	for _, file := range p.Files {
+		tf := p.Fset.File(file.Pos())
+		if tf == nil || tf.Name() != pos.Filename {
+			continue
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				got, ok := waiverTag(c.Text)
+				if !ok || got != tag {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				if line == pos.Line || line == pos.Line-1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func benchPass(pkg *Package) *Pass {
+	return &Pass{
+		Analyzer: &Analyzer{Name: "bench"},
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		facts:    newPkgFacts(pkg),
+	}
+}
+
+func BenchmarkWaiverForIndexed(b *testing.B) {
+	pkg, queries := benchWaiverPkg(b, 8, 100)
+	pass := benchPass(pkg)
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range queries {
+			if pass.waiverFor(n, "ordered") {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		b.Fatal("no waiver hits; fixture is broken")
+	}
+}
+
+func BenchmarkWaiverForLinearScan(b *testing.B) {
+	pkg, queries := benchWaiverPkg(b, 8, 100)
+	pass := benchPass(pkg)
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range queries {
+			if legacyWaiverFor(pass, n, "ordered") {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		b.Fatal("no waiver hits; fixture is broken")
+	}
+}

@@ -77,6 +77,7 @@ func TestDeterministicSolve(t *testing.T) {
 		return res
 	}
 	r1, r2 := run(), run()
+	//letvet:floateq the test asserts bit-identical re-solves, so exact float equality is the point
 	if r1.Status != r2.Status || r1.Objective != r2.Objective || r1.Nodes != r2.Nodes {
 		t.Errorf("non-deterministic solve: (%v, %g, %d nodes) vs (%v, %g, %d nodes)",
 			r1.Status, r1.Objective, r1.Nodes, r2.Status, r2.Objective, r2.Nodes)

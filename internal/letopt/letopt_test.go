@@ -11,6 +11,7 @@ import (
 	"letdma/internal/let"
 	"letdma/internal/milp"
 	"letdma/internal/model"
+	"letdma/internal/ordered"
 	"letdma/internal/timeutil"
 )
 
@@ -231,7 +232,9 @@ func TestCapacityShortCircuit(t *testing.T) {
 	}
 	a, sys := build()
 	cm := dma.DefaultCostModel()
-	for mem, objs := range dma.RequiredObjects(a) {
+	req := dma.RequiredObjects(a)
+	for _, mem := range ordered.Keys(req) {
+		objs := req[mem]
 		var need int64
 		for _, o := range objs {
 			need += sys.Label(o.Label).Size

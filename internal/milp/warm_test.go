@@ -184,6 +184,7 @@ func TestObjIntegerStepHugeCoefficient(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			got := objIntegerStep(build(tc.coefs...), 1)
+			//letvet:floateq objIntegerStep returns exact representable integers or 0 by contract
 			if got != tc.want {
 				t.Fatalf("objIntegerStep = %g, want %g", got, tc.want)
 			}
