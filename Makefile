@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet letvet bench
+.PHONY: all build test race lint fmt vet letvet bench bench-update
 
 all: build lint test
 
@@ -30,7 +30,14 @@ vet:
 letvet:
 	$(GO) run ./cmd/letvet -tests -baseline letvet.baseline.json ./...
 
-# Solver benchmarks as run by the CI bench job, plus the JSON artifact.
+# Solver benchmarks as run by the CI bench job. The run is diffed against
+# the committed BENCH_milp.json snapshot (deterministic counter drift means
+# the solver trajectory changed); `make bench-update` refreshes the
+# snapshot after an intentional kernel change.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelBnB|BenchmarkWarmStartBnB' -benchtime 1x -count 3 . | tee bench.txt
+	$(GO) run ./cmd/benchjson -diff BENCH_milp.json bench.txt
+
+bench-update:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelBnB|BenchmarkWarmStartBnB' -benchtime 1x -count 3 . | tee bench.txt
 	$(GO) run ./cmd/benchjson -o BENCH_milp.json bench.txt

@@ -310,6 +310,7 @@ func BenchmarkWarmStartBnB(b *testing.B) {
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			var iters, hits int
+			var kern milp.KernelStats
 			for i := 0; i < b.N; i++ {
 				res, err := letopt.Solve(s.a, cm, nil, dma.MinTransfers, letopt.Options{
 					MILP: milp.Params{Workers: 4, TimeLimit: 10 * time.Minute,
@@ -326,9 +327,18 @@ func BenchmarkWarmStartBnB(b *testing.B) {
 				}
 				iters = res.SimplexIters
 				hits = res.Kernel.WarmHits
+				kern = res.Kernel
 			}
 			b.ReportMetric(float64(iters), "lp_iters")
 			b.ReportMetric(float64(hits), "warm_hits")
+			// Sparse-kernel activity: mean nonzeros per FTRAN result (how
+			// much sparsity the LU + eta representation exploits) and total
+			// eta-file entries. Both are deterministic and Workers-invariant,
+			// like lp_iters.
+			if kern.FtranSolves > 0 {
+				b.ReportMetric(float64(kern.FtranNnz)/float64(kern.FtranSolves), "ftran_avg_nnz")
+			}
+			b.ReportMetric(float64(kern.EtaNnz), "eta_nnz")
 		})
 	}
 }

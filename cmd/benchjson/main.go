@@ -7,6 +7,13 @@
 //
 //	go test -bench BenchmarkWarmStartBnB -run '^$' . | benchjson -o BENCH_milp.json
 //	benchjson bench.txt
+//	benchjson -diff BENCH_milp.json bench.txt
+//
+// With -diff, the parsed input is compared against a previously committed
+// JSON snapshot and a per-metric delta table is printed instead of JSON.
+// Deterministic solver metrics (lp_iters, nodes, warm_hits) that drift are
+// marked, since they change only when the solver trajectory changes; timing
+// metrics are reported as ratios and never marked.
 //
 // The parser understands the standard benchmark line format
 //
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -100,9 +108,91 @@ func parse(r io.Reader) (*Doc, error) {
 	return doc, nil
 }
 
+// deterministicMetrics are solver counters that are a pure function of the
+// solver trajectory: any drift means the search itself changed, not the
+// machine it ran on.
+var deterministicMetrics = map[string]bool{
+	"lp_iters": true, "nodes": true, "warm_hits": true,
+}
+
+// fold aggregates repeated runs of the same benchmark (-count > 1): the
+// minimum per metric, which is the standard summary for timings and the
+// identity for deterministic counters.
+func fold(doc *Doc) ([]string, map[string]map[string]float64) {
+	var order []string
+	agg := map[string]map[string]float64{}
+	for _, b := range doc.Benchmarks {
+		m, ok := agg[b.Name]
+		if !ok {
+			m = map[string]float64{}
+			agg[b.Name] = m
+			order = append(order, b.Name)
+		}
+		for unit, v := range b.Metrics {
+			if old, seen := m[unit]; !seen || v < old {
+				m[unit] = v
+			}
+		}
+	}
+	return order, agg
+}
+
+// diff prints a per-metric comparison of the new run against the committed
+// snapshot and returns the number of drifted deterministic metrics.
+func diff(committed, fresh *Doc, w io.Writer) int {
+	oldOrder, oldAgg := fold(committed)
+	newOrder, newAgg := fold(fresh)
+	drift := 0
+	pr := func(format string, args ...any) { _, _ = fmt.Fprintf(w, format, args...) }
+	pr("%-40s %-12s %14s %14s %10s\n", "benchmark", "metric", "committed", "new", "delta")
+	for _, name := range newOrder {
+		old, ok := oldAgg[name]
+		if !ok {
+			pr("%-40s %-12s %14s %14s %10s\n", name, "-", "(absent)", "", "new")
+			continue
+		}
+		units := make([]string, 0, len(newAgg[name]))
+		for unit := range newAgg[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			nv := newAgg[name][unit]
+			ov, seen := old[unit]
+			switch {
+			case !seen:
+				pr("%-40s %-12s %14s %14.6g %10s\n", name, unit, "(absent)", nv, "new")
+			case ov == nv:
+				pr("%-40s %-12s %14.6g %14.6g %10s\n", name, unit, ov, nv, "=")
+			default:
+				delta := "n/a"
+				if ov != 0 {
+					delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+				}
+				mark := ""
+				if deterministicMetrics[unit] {
+					mark = " DRIFT"
+					drift++
+				}
+				pr("%-40s %-12s %14.6g %14.6g %10s%s\n", name, unit, ov, nv, delta, mark)
+			}
+		}
+	}
+	for _, name := range oldOrder {
+		if _, ok := newAgg[name]; !ok {
+			pr("%-40s %-12s %14s %14s %10s\n", name, "-", "", "(absent)", "gone")
+		}
+	}
+	if drift > 0 {
+		pr("\n%d deterministic metric(s) drifted: the solver trajectory changed; refresh BENCH_milp.json if intended.\n", drift)
+	}
+	return drift
+}
+
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "write JSON to this file instead of stdout")
+	against := fs.String("diff", "", "compare the input against this committed JSON snapshot instead of emitting JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,6 +211,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	doc, err := parse(in)
 	if err != nil {
 		return err
+	}
+	if *against != "" {
+		data, err := os.ReadFile(*against)
+		if err != nil {
+			return err
+		}
+		var committed Doc
+		if err := json.Unmarshal(data, &committed); err != nil {
+			return fmt.Errorf("benchjson: %s: %w", *against, err)
+		}
+		diff(&committed, doc, stdout)
+		return nil
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -80,3 +80,38 @@ func TestRunRejectsExtraArgs(t *testing.T) {
 		t.Fatal("extra positional arguments accepted")
 	}
 }
+
+func TestDiffAgainstCommitted(t *testing.T) {
+	// Commit the sample as the snapshot, then diff a run whose timing
+	// improved but whose deterministic lp_iters drifted.
+	snapshot := filepath.Join(t.TempDir(), "BENCH_milp.json")
+	if err := run([]string{"-o", snapshot}, strings.NewReader(sample), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := strings.Replace(sample, "12345 lp_iters", "11111 lp_iters", 1)
+	fresh = strings.Replace(fresh, " 512345678 ns/op", " 112345678 ns/op", 1)
+	var out bytes.Buffer
+	if err := run([]string{"-diff", snapshot}, strings.NewReader(fresh), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "DRIFT") {
+		t.Fatalf("deterministic lp_iters drift not marked:\n%s", text)
+	}
+	if !strings.Contains(text, "1 deterministic metric(s) drifted") {
+		t.Fatalf("drift summary missing:\n%s", text)
+	}
+	// Timing deltas are reported but never marked as drift.
+	if strings.Count(text, "DRIFT") != 1 {
+		t.Fatalf("non-deterministic metrics marked as drift:\n%s", text)
+	}
+
+	// An identical run reports no drift.
+	out.Reset()
+	if err := run([]string{"-diff", snapshot}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "DRIFT") {
+		t.Fatalf("identical run reported drift:\n%s", out.String())
+	}
+}

@@ -306,6 +306,9 @@ func (st *searchState) finish(openBound float64, nodes, iters int, hitLimit bool
 	logf(st.p.Log, "kernel: warm_attempts=%d warm_hits=%d cold_solves=%d cold_fallbacks=%d warm_iters=%d phase1_iters=%d phase1_saved=%d refactors=%d\n",
 		st.stats.WarmAttempts, st.stats.WarmHits, st.stats.ColdSolves, st.stats.ColdFallbacks,
 		st.stats.WarmIters, st.stats.Phase1Iters, st.stats.Phase1ItersSaved, st.stats.Refactorizations)
+	logf(st.p.Log, "kernel/lu: ftran=%d ftran_nnz=%d btran=%d btran_nnz=%d etas=%d eta_nnz=%d lu_nnz=%d\n",
+		st.stats.FtranSolves, st.stats.FtranNnz, st.stats.BtranSolves, st.stats.BtranNnz,
+		st.stats.EtaUpdates, st.stats.EtaNnz, st.stats.LuNnz)
 	return sol
 }
 
@@ -367,7 +370,11 @@ func Solve(m *Model, p Params) (*Solution, error) {
 		res := nr.lpSolution
 		simplexIters += res.iters
 		switch res.status {
-		case lpTimeLimit, lpIterLimit:
+		case lpTimeLimit, lpIterLimit, lpNumerical:
+			// lpNumerical: the kernel lost its numerical footing on this
+			// node; treating the relaxation as decided either way would be
+			// unsound, so the node stays open and the search reports an
+			// early stop, exactly like a limit.
 			hitLimit = true
 		case lpCutoff, lpInfeasible:
 			// lpCutoff: the warm probe fathomed the node against the
@@ -492,10 +499,10 @@ func (st *searchState) solveNode(node *bbNode) nodeResult {
 			// fathoming strictly inside the cold prune region.
 			incObj = st.incObj
 		}
-		out, iters, refs := warmProbe(st.minM, node.lo, node.hi, node.pbasis,
+		out, iters, ctr := warmProbe(st.minM, node.lo, node.hi, node.pbasis,
 			incObj, st.intObjGCD, st.objOffset, st.warmBudget, st.deadline)
 		nr.stats.WarmIters += iters
-		nr.stats.Refactorizations += refs
+		nr.stats.addCounters(ctr)
 		probeIters = iters
 		switch out {
 		case probeCutoff:
@@ -513,7 +520,7 @@ func (st *searchState) solveNode(node *bbNode) nodeResult {
 	res := st.coldSolve(node.lo, node.hi)
 	nr.stats.ColdSolves++
 	nr.stats.Phase1Iters += res.phase1Iters
-	nr.stats.Refactorizations += res.refactors
+	nr.stats.addCounters(res.counters)
 	res.iters += probeIters
 	nr.lpSolution = res
 	return nr

@@ -1,0 +1,190 @@
+package milp
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateKernelGolden = flag.Bool("update", false, "regenerate testdata/kernel_golden.json (nodes/iters pins) from the current kernel")
+
+// kernelGoldenRow pins one corpus instance. Status and Obj were produced by
+// the dense-inverse kernel immediately before its removal and act as the
+// differential oracle: the sparse LU kernel must reproduce the status
+// exactly and the objective to 1e-9. Nodes and Iters pin the current
+// kernel's deterministic trajectory; any change to pivoting, pricing or
+// refactorization shows up here before it shows up anywhere else.
+type kernelGoldenRow struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Obj    string `json:"obj"` // %.17g of Solution.Obj; "" when no incumbent
+	Nodes  int    `json:"nodes"`
+	Iters  int    `json:"iters"`
+}
+
+// kernelCorpus returns the fixed instance corpus: the random-model family
+// every milp test uses (seeded, so identical forever) plus handcrafted LPs
+// covering equality rows, free variables, bound flips and degeneracy.
+func kernelCorpus() []struct {
+	name string
+	m    *Model
+} {
+	var out []struct {
+		name string
+		m    *Model
+	}
+	add := func(name string, m *Model) {
+		out = append(out, struct {
+			name string
+			m    *Model
+		}{name, m})
+	}
+
+	rng := rand.New(rand.NewSource(977))
+	for i := 0; i < 48; i++ {
+		add(fmt.Sprintf("rand%02d", i), randomModel(rng))
+	}
+
+	// Transportation LP: continuous, known optimum 210.
+	{
+		supply := []float64{20, 30, 25}
+		demand := []float64{10, 25, 15, 25}
+		cost := [][]float64{{2, 3, 1, 4}, {5, 4, 8, 1}, {9, 7, 3, 6}}
+		m := NewModel()
+		xs := make([][]VarID, 3)
+		obj := NewExpr(0)
+		for i := range xs {
+			xs[i] = make([]VarID, 4)
+			for j := range xs[i] {
+				xs[i][j] = m.AddContinuous("x", 0, Inf)
+				obj = obj.Add(xs[i][j], cost[i][j])
+			}
+		}
+		for i, s := range supply {
+			e := NewExpr(0)
+			for j := range demand {
+				e = e.Add(xs[i][j], 1)
+			}
+			m.AddLE("supply", e, s)
+		}
+		for j, d := range demand {
+			e := NewExpr(0)
+			for i := range supply {
+				e = e.Add(xs[i][j], 1)
+			}
+			m.AddGE("demand", e, d)
+		}
+		m.SetObjective(Minimize, obj)
+		add("transport", m)
+	}
+
+	// Degenerate equality system with a redundant (scaled-duplicate) row.
+	{
+		m := NewModel()
+		x := m.AddInteger("x", 0, 5)
+		y := m.AddInteger("y", 0, 5)
+		m.AddEQ("e1", Sum(1, x, y), 4)
+		m.AddEQ("e2", NewExpr(0).Add(x, 2).Add(y, 2), 8)
+		m.SetObjective(Minimize, NewExpr(0).Add(x, 3).Add(y, 1))
+		add("redundant_eq", m)
+	}
+
+	// Knapsack-ish binary model with a fractional relaxation.
+	{
+		m := NewModel()
+		w := []float64{3, 5, 7, 4, 6}
+		v := []float64{4, 6, 9, 5, 7}
+		e := NewExpr(0)
+		obj := NewExpr(0)
+		for i := range w {
+			b := m.AddBinary(fmt.Sprintf("b%d", i))
+			e = e.Add(b, w[i])
+			obj = obj.Add(b, v[i])
+		}
+		m.AddLE("cap", e, 12)
+		m.SetObjective(Maximize, obj)
+		add("knapsack", m)
+	}
+	return out
+}
+
+func kernelGoldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "kernel_golden.json")
+}
+
+// TestKernelGolden is the dense-vs-sparse differential gate plus the
+// trajectory pin of the simplex kernel, run over the fixed corpus with the
+// sequential engine (Workers invariance is pinned separately).
+func TestKernelGolden(t *testing.T) {
+	corpus := kernelCorpus()
+	rows := make([]kernelGoldenRow, 0, len(corpus))
+	for _, c := range corpus {
+		sol := mustSolve(t, c.m, Params{TimeLimit: 30 * time.Second})
+		row := kernelGoldenRow{Name: c.name, Status: sol.Status.String(), Nodes: sol.Nodes, Iters: sol.SimplexIters}
+		if sol.X != nil {
+			row.Obj = fmt.Sprintf("%.17g", sol.Obj)
+		}
+		rows = append(rows, row)
+	}
+
+	path := kernelGoldenPath(t)
+	if *updateKernelGolden {
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden rows to %s", len(rows), path)
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	var want []kernelGoldenRow
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(rows) {
+		t.Fatalf("golden has %d rows, corpus has %d (run with -update?)", len(want), len(rows))
+	}
+	for i, g := range want {
+		got := rows[i]
+		if got.Name != g.Name {
+			t.Fatalf("row %d: corpus instance %q does not match golden %q", i, got.Name, g.Name)
+		}
+		if got.Status != g.Status {
+			t.Errorf("%s: status %s, golden %s", g.Name, got.Status, g.Status)
+			continue
+		}
+		if (got.Obj == "") != (g.Obj == "") {
+			t.Errorf("%s: incumbent presence %q vs golden %q", g.Name, got.Obj, g.Obj)
+			continue
+		}
+		if g.Obj != "" {
+			var wantObj, gotObj float64
+			fmt.Sscanf(g.Obj, "%g", &wantObj)
+			fmt.Sscanf(got.Obj, "%g", &gotObj)
+			if math.Abs(gotObj-wantObj) > 1e-9*(1+math.Abs(wantObj)) {
+				t.Errorf("%s: obj %s, golden %s", g.Name, got.Obj, g.Obj)
+			}
+		}
+		if got.Nodes != g.Nodes || got.Iters != g.Iters {
+			t.Errorf("%s: trajectory (nodes=%d iters=%d) drifted from pinned (nodes=%d iters=%d)",
+				g.Name, got.Nodes, got.Iters, g.Nodes, g.Iters)
+		}
+	}
+}

@@ -6,8 +6,10 @@
 //
 //   - a model builder with named variables, bounds, integrality marks and
 //     linear constraints (this file);
-//   - a bounded-variable two-phase primal simplex for LP relaxations
-//     (simplex.go);
+//   - a bounded-variable two-phase revised primal simplex for LP
+//     relaxations (simplex.go), running on a sparse LU factorization of
+//     the basis with a product-form eta file (lu.go) and devex pricing
+//     with partial scans (see DESIGN.md section 14);
 //   - a branch-and-bound search with most-fractional branching, a
 //     best-bound/depth-first hybrid node order, warm-start incumbents, a
 //     wall-clock time limit and MIP-gap termination (branch.go);

@@ -111,7 +111,7 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 			iters += res.iters
 			st.stats.add(res.stats)
 			switch res.status {
-			case lpTimeLimit, lpIterLimit:
+			case lpTimeLimit, lpIterLimit, lpNumerical:
 				hitLimit = true
 				continue
 			case lpCutoff, lpInfeasible:

@@ -146,9 +146,26 @@ type KernelStats struct {
 	// Phase1ItersSaved estimates the phase-1 work avoided by warm hits:
 	// WarmHits times the mean phase-1 iterations per cold solve.
 	Phase1ItersSaved int
-	// Refactorizations counts basis-inverse rebuilds across all solves and
+	// Refactorizations counts sparse-LU basis rebuilds across all solves and
 	// probes.
 	Refactorizations int
+	// FtranSolves / BtranSolves count sparse forward/backward solves against
+	// the LU + eta-file representation; FtranNnz / BtranNnz accumulate the
+	// nonzeros of their results, so the mean result density
+	// (FtranNnz / (FtranSolves * m)) measures how much the sparse kernel
+	// actually exploits sparsity versus the dense sweeps it replaced.
+	FtranSolves int
+	FtranNnz    int
+	BtranSolves int
+	BtranNnz    int
+	// EtaUpdates counts product-form basis updates between refactorizations;
+	// EtaNnz accumulates the eta-vector nonzeros (the eta-file growth that
+	// the refactorization cadence bounds).
+	EtaUpdates int
+	EtaNnz     int
+	// LuNnz accumulates the L+U nonzeros over all refactorizations: fill-in
+	// relative to the basis-matrix nonzeros measures factorization quality.
+	LuNnz int
 }
 
 func (k *KernelStats) add(o KernelStats) {
@@ -160,6 +177,25 @@ func (k *KernelStats) add(o KernelStats) {
 	k.Phase1Iters += o.Phase1Iters
 	k.Phase1ItersSaved += o.Phase1ItersSaved
 	k.Refactorizations += o.Refactorizations
+	k.FtranSolves += o.FtranSolves
+	k.FtranNnz += o.FtranNnz
+	k.BtranSolves += o.BtranSolves
+	k.BtranNnz += o.BtranNnz
+	k.EtaUpdates += o.EtaUpdates
+	k.EtaNnz += o.EtaNnz
+	k.LuNnz += o.LuNnz
+}
+
+// addCounters folds one solve's kernel counters into the aggregate.
+func (k *KernelStats) addCounters(c kernelCounters) {
+	k.Refactorizations += c.refactors
+	k.FtranSolves += c.ftranSolves
+	k.FtranNnz += c.ftranNnz
+	k.BtranSolves += c.btranSolves
+	k.BtranNnz += c.btranNnz
+	k.EtaUpdates += c.etaUpdates
+	k.EtaNnz += c.etaNnz
+	k.LuNnz += c.luNnz
 }
 
 // probeOutcome is the verdict of one warm probe.
@@ -184,27 +220,22 @@ const (
 // bounded-variable dual simplex until it can fathom the node or must give
 // up. minM is the minimization form of the model; incObj, gcdStep and
 // objOffset mirror the cold path's pruning arithmetic so a warm fathom
-// implies a cold prune. It returns the verdict plus the pivot and
-// refactorization counts.
-func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objOffset float64, budget int, deadline time.Time) (probeOutcome, int, int) {
+// implies a cold prune. It returns the verdict plus the pivot count and the
+// probe's linear-algebra counters.
+func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objOffset float64, budget int, deadline time.Time) (probeOutcome, int, kernelCounters) {
 	p := buildLP(minM, lo, hi)
 
 	// Same exact empty-box check as solveLP: fathoming here cannot diverge
 	// from the cold path.
 	for j := 0; j < p.n; j++ {
 		if p.lo[j] > p.hi[j]+feasTol {
-			return probeInfeasible, 0, 0
+			return probeInfeasible, 0, kernelCounters{}
 		}
 	}
 	if len(snap.Cols) != p.m || len(snap.States) != p.n+p.m || len(snap.ArtSign) != p.m {
-		return probeFallback, 0, 0
+		return probeFallback, 0, kernelCounters{}
 	}
 
-	s := &simplexState{p: p, ncols: p.n + p.m}
-	s.state = make([]int8, s.ncols)
-	s.xval = make([]float64, s.ncols)
-	s.basis = make([]int, p.m)
-	copy(s.state, snap.States)
 	for i := 0; i < p.m; i++ {
 		// Artificials are pinned to zero (the snapshot comes from a
 		// completed phase 2) but must carry the originating solve's sign so
@@ -212,6 +243,10 @@ func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objO
 		p.cols = append(p.cols, sparseCol{rows: []int{i}, vals: []float64{float64(snap.ArtSign[i])}})
 		p.lo = append(p.lo, 0)
 		p.hi = append(p.hi, 0)
+	}
+	s := newSimplexState(p)
+	copy(s.state, snap.States)
+	for i := 0; i < p.m; i++ {
 		s.basis[i] = int(snap.Cols[i])
 	}
 	// Nonbasic values come from the child's bounds. A nonbasic state
@@ -221,12 +256,12 @@ func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objO
 		switch s.state[j] {
 		case stLower:
 			if math.IsInf(p.lo[j], -1) {
-				return probeFallback, 0, 0
+				return probeFallback, 0, s.counters
 			}
 			s.xval[j] = p.lo[j]
 		case stUpper:
 			if math.IsInf(p.hi[j], 1) {
-				return probeFallback, 0, 0
+				return probeFallback, 0, s.counters
 			}
 			s.xval[j] = p.hi[j]
 		case stFree:
@@ -249,15 +284,12 @@ func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objO
 		frac := float64(h>>20) / float64(1<<12)
 		s.pcost[j] = p.c[j] + 1e-10*(1+math.Abs(p.c[j]))*(1+frac)
 	}
-	s.binv = make([][]float64, p.m)
-	for i := range s.binv {
-		s.binv[i] = make([]float64, p.m)
-	}
+	s.buildRowwise()
 	if err := s.refactorize(); err != nil {
-		return probeFallback, 0, s.refactors
+		return probeFallback, 0, s.counters
 	}
 	out, iters := s.dualFathom(incObj, gcdStep, objOffset, budget, deadline)
-	return out, iters, s.refactors
+	return out, iters, s.counters
 }
 
 // certBox returns the per-column bounds used by the certificate
@@ -516,6 +548,7 @@ func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int
 	p := s.p
 	y := make([]float64, p.m)
 	w := make([]float64, p.m)
+	rho := make([]float64, p.m)
 	sincePivot := 0
 	// Degenerate dual pivots can plateau for long stretches without moving
 	// the bound. When the bound is still far from the cutoff such a probe
@@ -538,24 +571,15 @@ func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int
 		if iters >= budget {
 			return probeFallback, iters
 		}
-		if !deadline.IsZero() && iters%32 == 0 && time.Now().After(deadline) {
+		if !deadline.IsZero() && iters%deadlinePollEvery == 0 && time.Now().After(deadline) {
 			return probeFallback, iters
 		}
 
-		// Dual values y = c_B' * B^-1 for the (perturbed) phase-2 costs.
-		for i := range y {
-			y[i] = 0
-		}
+		// Dual values y = B^-T c_B for the (perturbed) phase-2 costs.
 		for i := 0; i < p.m; i++ {
-			cb := s.pcost[s.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[i]
-			for k := 0; k < p.m; k++ {
-				y[k] += cb * row[k]
-			}
+			y[i] = s.pcost[s.basis[i]]
 		}
+		s.rep.btran(y)
 
 		// Lower bound of the node relaxation, certified against the
 		// original matrix data for the current (possibly drifted) duals.
@@ -596,13 +620,20 @@ func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int
 			return probeOpen, iters
 		}
 		bv := s.basis[r]
-		br := s.binv[r]
+		// Pivot row r of B^-1 A, gathered sparsely through one BTRAN and the
+		// row-major matrix view; rho holds the B^-1 row itself for the
+		// infeasibility certificate.
+		for i := range rho {
+			rho[i] = 0
+		}
+		s.pivotRowAlpha(r, rho)
 		// The leaving basic moves to its violated bound: it must increase
 		// when below its lower bound, decrease when above its upper bound.
 		mustIncrease := leaveAt == stLower
 
 		// Entering column: dual ratio test |d_j| / |alpha_j| over the
-		// sign-eligible nonbasics.
+		// sign-eligible nonbasics. Columns the gather never touched have an
+		// exactly-zero pivot entry and are skipped without any arithmetic.
 		enter := -1
 		bestRatio := math.Inf(1)
 		for j := 0; j < s.ncols; j++ {
@@ -613,10 +644,10 @@ func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int
 			if isFixed(p.lo[j], p.hi[j]) && stj != stFree {
 				continue
 			}
-			alpha := 0.0
-			for k, row := range p.cols[j].rows {
-				alpha += br[row] * p.cols[j].vals[k]
+			if s.amark[j] != s.aepoch {
+				continue
 			}
+			alpha := s.alpha[j]
 			if math.Abs(alpha) <= pivotTol {
 				continue
 			}
@@ -650,7 +681,7 @@ func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int
 			// certificate checks out against the original matrix data —
 			// borderline or unverifiable cases go to the cold path for an
 			// authoritative phase-1 answer.
-			if worst > certTrust && s.certInfeasible(br) {
+			if worst > certTrust && s.certInfeasible(rho) {
 				return probeInfeasible, iters
 			}
 			return probeFallback, iters
@@ -662,11 +693,9 @@ func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int
 			w[i] = 0
 		}
 		for k, row := range p.cols[enter].rows {
-			v := p.cols[enter].vals[k]
-			for i := 0; i < p.m; i++ {
-				w[i] += s.binv[i][row] * v
-			}
+			w[row] = p.cols[enter].vals[k]
 		}
+		s.rep.ftran(w)
 		if math.Abs(w[r]) < pivotTol {
 			return probeFallback, iters
 		}
@@ -679,7 +708,7 @@ func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int
 		s.state[bv] = leaveAt
 		s.basis[r] = enter
 		s.state[enter] = stBasic
-		s.applyPivot(r, w)
+		s.rep.update(r, w)
 
 		sincePivot++
 		if sincePivot >= refactor {

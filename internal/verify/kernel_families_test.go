@@ -1,0 +1,142 @@
+package verify
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"letdma/internal/dma"
+	"letdma/internal/let"
+	"letdma/internal/letopt"
+	"letdma/internal/milp"
+	"letdma/internal/sysgen"
+)
+
+var updateFamilyGolden = flag.Bool("update-kernel-golden", false,
+	"regenerate testdata/kernel_families.json from the current simplex kernel")
+
+// familyGoldenRow pins one sysgen family's representative MILP solve. Like
+// the milp-level kernel golden, Status and Obj act as the differential
+// oracle across kernel changes (the dense-inverse kernel produced the same
+// values before its removal), while Nodes and LPIters pin the current
+// kernel's deterministic trajectory through the full Section-VI pipeline.
+type familyGoldenRow struct {
+	Scenario string `json:"scenario"`
+	Status   string `json:"status"`
+	Obj      string `json:"obj"` // %.17g; "" when no incumbent exists
+	Nodes    int    `json:"nodes"`
+	LPIters  int    `json:"lp_iters"`
+}
+
+// familyRepresentative picks, deterministically, the first seed whose
+// scenario produces an analyzable system with a small communication set
+// (the single-core family never does and is pinned as "no-comm").
+func familyRepresentative(t *testing.T, f sysgen.Family) (*sysgen.Scenario, *let.Analysis) {
+	t.Helper()
+	for seed := int64(1); seed <= 64; seed++ {
+		sc, err := sysgen.Generate(seed, f)
+		if err != nil {
+			t.Fatalf("%s seed=%d: %v", f, seed, err)
+		}
+		if sc.ExpectNoComm {
+			return sc, nil
+		}
+		a, err := let.Analyze(sc.Sys)
+		if err != nil {
+			continue
+		}
+		if n := a.NumComms(); n < 1 || n > 6 {
+			continue // keep the pinned MILP small and fast
+		}
+		return sc, a
+	}
+	t.Fatalf("family %s: no representative scenario in 64 seeds", f)
+	return nil, nil
+}
+
+// TestKernelFamiliesGolden pins one end-to-end MILP solve per sysgen family
+// against the simplex kernel: any change to pricing, factorization or pivot
+// order shows up as a trajectory diff here, on top of the milp-level corpus
+// golden. The node limit makes truncated searches deterministic.
+func TestKernelFamiliesGolden(t *testing.T) {
+	cm := dma.DefaultCostModel()
+	var rows []familyGoldenRow
+	for _, f := range sysgen.Families() {
+		sc, a := familyRepresentative(t, f)
+		row := familyGoldenRow{Scenario: sc.Name}
+		if a == nil {
+			row.Status = "no-comm"
+			rows = append(rows, row)
+			continue
+		}
+		gamma := deriveGamma(a, cm, 0.2)
+		res, err := letopt.Solve(a, cm, gamma, dma.MinTransfers, letopt.Options{
+			MILP: milp.Params{MaxNodes: 96},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		row.Status = res.Status.String()
+		row.Nodes = res.Nodes
+		row.LPIters = res.SimplexIters
+		if res.Sched != nil {
+			row.Obj = fmt.Sprintf("%.17g", res.Objective)
+		}
+		rows = append(rows, row)
+	}
+
+	path := filepath.Join("testdata", "kernel_families.json")
+	if *updateFamilyGolden {
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d family rows to %s", len(rows), path)
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-kernel-golden): %v", err)
+	}
+	var want []familyGoldenRow
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(rows) {
+		t.Fatalf("golden has %d rows, run produced %d", len(want), len(rows))
+	}
+	for i, g := range want {
+		got := rows[i]
+		if got.Scenario != g.Scenario {
+			t.Fatalf("row %d: scenario %q does not match golden %q", i, got.Scenario, g.Scenario)
+		}
+		if got.Status != g.Status {
+			t.Errorf("%s: status %s, golden %s", g.Scenario, got.Status, g.Status)
+			continue
+		}
+		if (got.Obj == "") != (g.Obj == "") {
+			t.Errorf("%s: incumbent presence %q vs golden %q", g.Scenario, got.Obj, g.Obj)
+			continue
+		}
+		if g.Obj != "" {
+			var wantObj, gotObj float64
+			fmt.Sscanf(g.Obj, "%g", &wantObj)
+			fmt.Sscanf(got.Obj, "%g", &gotObj)
+			if math.Abs(gotObj-wantObj) > 1e-9*(1+math.Abs(wantObj)) {
+				t.Errorf("%s: obj %s, golden %s", g.Scenario, got.Obj, g.Obj)
+			}
+		}
+		if got.Nodes != g.Nodes || got.LPIters != g.LPIters {
+			t.Errorf("%s: trajectory (nodes=%d lp_iters=%d) drifted from pinned (nodes=%d lp_iters=%d)",
+				g.Scenario, got.Nodes, got.LPIters, g.Nodes, g.LPIters)
+		}
+	}
+}
