@@ -252,6 +252,53 @@ func BenchmarkParallelBnB(b *testing.B) {
 	}
 }
 
+// BenchmarkFastSearchBnB measures the discovery regime — no warm start, no
+// node budget, solve to proven optimality — on the WATERS (lite) OBJ-DMAT
+// instance, epoch-synchronized engine vs FastSearch at the same worker
+// count. Discovery is where the epoch barrier hurts most: until the first
+// incumbent lands, nothing prunes, so the epoch engine pays full-frontier
+// waves while FastSearch's depth-first workers reach incumbents in
+// milliseconds and prune the rest of the tree against them. Both engines
+// prove the same optimum (the certificate tests pin that); only "transfers"
+// is reported because FastSearch's nodes and lp_iters legitimately vary
+// with goroutine scheduling and must not be gated as deterministic metrics.
+// The full WATERS model is excluded for the same reason as in
+// BenchmarkParallelBnB: its cold root relaxation exceeds the kernel's
+// numerical footing, so discovery runs on it measure the early stop, not
+// the search.
+func BenchmarkFastSearchBnB(b *testing.B) {
+	if testing.Short() {
+		b.Skip("discovery MILP solve takes tens of seconds")
+	}
+	a := mustAnalyze(b, waters.Lite())
+	cm := dma.DefaultCostModel()
+	for _, cfg := range []struct {
+		name string
+		fast bool
+	}{
+		{"epoch", false},
+		{"fast", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var transfers int
+			for i := 0; i < b.N; i++ {
+				res, err := letopt.Solve(a, cm, nil, dma.MinTransfers, letopt.Options{
+					MILP:  milp.Params{Workers: 4, TimeLimit: 10 * time.Minute, FastSearch: cfg.fast},
+					Slots: 6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != milp.StatusOptimal {
+					b.Fatalf("discovery solve status %s, want optimal", res.Status)
+				}
+				transfers = len(res.Sched.Transfers)
+			}
+			b.ReportMetric(float64(transfers), "transfers")
+		})
+	}
+}
+
 // warmStartSetup caches the expensive one-off setup of BenchmarkWarmStartBnB
 // (a full MILP solve to optimality) so repeated -count runs in the same
 // process pay for it once.

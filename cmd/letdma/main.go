@@ -20,7 +20,10 @@
 //
 // Common flags: -lite selects the reduced two-core case study; -f loads a
 // JSON-described system; -alpha, -obj, -solver, -timeout tune the
-// configuration; fig2/table1/campaign/robust accept -csv.
+// configuration; -fast switches the MILP to the work-stealing FastSearch
+// engine (same certified optimum, nondeterministic trajectory; verify and
+// fuzz accept -fast too, where every FastSearch result is gated through
+// the optimality certificate); fig2/table1/campaign/robust accept -csv.
 //
 // SIGINT during a long MILP solve stops the search at the next node or
 // epoch boundary and reports the incumbent anytime solution; the process
@@ -174,6 +177,7 @@ type common struct {
 	timeout *time.Duration
 	slots   *int
 	workers *int
+	fast    *bool
 	milplog *bool
 }
 
@@ -187,6 +191,7 @@ func commonFlags(fs *flag.FlagSet) *common {
 		timeout: fs.Duration("timeout", 60*time.Second, "MILP time limit"),
 		slots:   fs.Int("slots", 0, "MILP transfer slots (0 = |C(s0)|)"),
 		workers: fs.Int("workers", 0, "worker goroutines for experiment fan-out and branch-and-bound (0 = sequential; results are identical for every count)"),
+		fast:    fs.Bool("fast", false, "use the work-stealing FastSearch MILP engine: same certified optimum, faster wall clock, but node order (and which of several tied optima is returned) depends on goroutine scheduling — audit results with 'verify -fast'"),
 		milplog: fs.Bool("milplog", false, "write MILP solver progress and kernel counters (warm hits, cold fallbacks, phase-1 iterations, LU refactorizations, ftran/btran sparsity, eta-file growth) to stderr"),
 	}
 }
@@ -240,6 +245,7 @@ func (c *common) config() (experiments.Config, error) {
 		MILPTimeLimit: *c.timeout,
 		Slots:         *c.slots,
 		Workers:       *c.workers,
+		FastSearch:    *c.fast,
 		Interrupt:     solveInterrupt,
 	}
 	if *c.milplog {
@@ -618,6 +624,7 @@ type verifyFlags struct {
 	workers    *int
 	timeout    *time.Duration
 	exhaustive *int64
+	fast       *bool
 	quiet      *bool
 }
 
@@ -625,10 +632,11 @@ func newVerifyFlags(fs *flag.FlagSet, defaultN int) *verifyFlags {
 	return &verifyFlags{
 		seed:       fs.Int64("seed", 1, "base generator seed (failures reproduce from it)"),
 		n:          fs.Int("n", defaultN, "number of scenarios to check"),
-		family:     fs.String("family", "", "restrict to one scenario family (harmonic | coprime | stars | single-core | saturated | extremes)"),
+		family:     fs.String("family", "", "restrict to one scenario family (harmonic | coprime | stars | single-core | saturated | extremes | deep-ties)"),
 		workers:    fs.Int("workers", 0, "worker goroutines for the solvers (0 = sequential; reports are identical for every count)"),
 		timeout:    fs.Duration("timeout", 5*time.Second, "MILP time limit per instance"),
 		exhaustive: fs.Int64("exhaustive", 0, "brute-force candidate budget (0 = harness default)"),
+		fast:       fs.Bool("fast", false, "also run the FastSearch MILP engine on every tractable instance, gated through the optimality certificate (verify.CheckOptimal)"),
 		quiet:      fs.Bool("q", false, "print only failures and the summary"),
 	}
 }
@@ -638,6 +646,7 @@ func (v *verifyFlags) options() verify.Options {
 		MILPTimeLimit:    *v.timeout,
 		ExhaustiveBudget: *v.exhaustive,
 		Workers:          *v.workers,
+		FastSearch:       *v.fast,
 	}
 }
 

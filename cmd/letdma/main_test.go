@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -42,7 +44,11 @@ func TestExitCodes(t *testing.T) {
 		{"lp", []string{"lp", "-lite"}, 0},
 		{"export", []string{"export", "-lite"}, 0},
 		{"verify", []string{"verify", "-seed", "1", "-n", "6", "-q"}, 0},
+		{"verify-fast", []string{"verify", "-seed", "1", "-n", "7", "-q", "-fast", "-workers", "4"}, 0},
+		{"verify-deep-ties", []string{"verify", "-seed", "2", "-n", "3", "-q", "-family", "deep-ties", "-fast"}, 0},
 		{"fuzz", []string{"fuzz", "-seed", "3", "-n", "6", "-q"}, 0},
+		{"fuzz-fast", []string{"fuzz", "-seed", "3", "-n", "7", "-q", "-fast"}, 0},
+		{"schedule-fast", []string{"schedule", "-lite", "-solver", "milp", "-fast", "-workers", "2"}, 0},
 		{"robust", []string{"robust", "-lite", "-seed", "7", "-trials", "2", "-faultrate", "0.01"}, 0},
 		{"robust-csv", []string{"robust", "-lite", "-seed", "7", "-trials", "2", "-faultrate", "0.1", "-csv", "-policy", "waitall"}, 0},
 		{"robust-bad-policy", []string{"robust", "-lite", "-policy", "bogus"}, 1},
@@ -116,5 +122,63 @@ func TestInterruptExitCode(t *testing.T) {
 	}
 	if got := runInterrupted(t, "export", "-f", "/nonexistent/system.json"); got != 1 {
 		t.Errorf("interrupted failing command: exit code %d, want 1", got)
+	}
+}
+
+// runInterruptedCapture is runInterrupted with stdout captured instead of
+// discarded, so tests can assert WHAT an interrupted run printed, not
+// just how it exited.
+func runInterruptedCapture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = w, devnull
+	outc := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		outc <- string(buf)
+	}()
+	stop := make(chan struct{})
+	close(stop)
+	code := runWith(args, stop)
+	w.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	return code, <-outc
+}
+
+// TestInterruptFlushesIncumbent: the exit-code-3 path is only useful if
+// the anytime solution actually reached stdout before the process died.
+// For the deterministic engines AND FastSearch, an interrupted schedule
+// solve must still print the full layout + transfer-schedule report of
+// the incumbent (here the combopt warm start, which seeds both engines).
+func TestInterruptFlushesIncumbent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"sequential", []string{"schedule", "-lite", "-solver", "milp", "-workers", "0"}},
+		{"epoch", []string{"schedule", "-lite", "-solver", "milp", "-workers", "2"}},
+		{"fast", []string{"schedule", "-lite", "-solver", "milp", "-fast", "-workers", "1"}},
+		{"fast-parallel", []string{"schedule", "-lite", "-solver", "milp", "-fast", "-workers", "4"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runInterruptedCapture(t, tc.args...)
+			if code != 3 {
+				t.Fatalf("exit code %d, want 3", code)
+			}
+			for _, want := range []string{"Memory layout", "DMA transfer schedule at s0", "Worst-case data-acquisition latencies"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("interrupted output lacks %q; got:\n%s", want, out)
+				}
+			}
+		})
 	}
 }

@@ -3,7 +3,10 @@
 // so unguarded writes to captured variables depend on goroutine schedule.
 package sharedwrite
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // forEachIndexed runs fn(i) for i in [0, n) on worker goroutines — the
 // worker-pool shape the analyzer's spawn summaries see through.
@@ -86,4 +89,34 @@ func bestEffort(items []int, workers int) int {
 		hint = items[i]
 	})
 	return hint
+}
+
+// workerStats is the per-worker scratch of the work-stealing shape below.
+type workerStats struct{ nodes, steals int }
+
+// fastWorkers mirrors the work-stealing branch-and-bound engine's spawn
+// shape (internal/milp solveFast): per-worker state lives in pre-indexed
+// slots of a captured slice, shared counters go through sync/atomic
+// METHOD calls — which are not captured-variable writes at all — and
+// anything that is neither is still a finding. The discipline is
+// recognized by the analyzer, not waived.
+func fastWorkers(workers int) ([]workerStats, int64, int) {
+	var wg sync.WaitGroup
+	var inflight atomic.Int64
+	locals := make([]workerStats, workers)
+	published := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			locals[id].nodes++ // pre-indexed slot: each worker owns its struct
+			if id > 0 {
+				locals[id].steals++ // still the slot discipline under branching
+			}
+			inflight.Add(1) // atomic method call, not a write to a captured variable
+			published++     // want "update of published captured by a goroutine-run closure"
+		}(w)
+	}
+	wg.Wait()
+	return locals, inflight.Load(), published
 }

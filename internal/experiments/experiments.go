@@ -67,6 +67,12 @@ type Config struct {
 	// whose results are identical for every worker count >= 1. 0 or 1 is
 	// fully sequential.
 	Workers int
+	// FastSearch switches the MILP to the nondeterministic work-stealing
+	// engine (milp.Params.FastSearch): same certified optimum, no
+	// bit-identical trajectory, so experiments that pin node or
+	// iteration counts must leave it off. Callers needing an audited
+	// result gate it through verify.CheckOptimal.
+	FastSearch bool
 	// CostModel defaults to dma.DefaultCostModel().
 	CostModel *dma.CostModel
 	// CPUCostModel defaults to dma.CPUCopyCostModel().
@@ -140,7 +146,7 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 	if cfg.Solver == SolverMILP {
 		res, err := letopt.Solve(a, cm, gamma, cfg.Objective, letopt.Options{
 			Slots:      cfg.Slots,
-			MILP:       milp.Params{TimeLimit: cfg.MILPTimeLimit, Workers: cfg.Workers, Log: cfg.MILPLog, Interrupt: cfg.Interrupt},
+			MILP:       milp.Params{TimeLimit: cfg.MILPTimeLimit, Workers: cfg.Workers, FastSearch: cfg.FastSearch, Log: cfg.MILPLog, Interrupt: cfg.Interrupt},
 			WarmLayout: comb.Layout,
 			WarmSched:  comb.Sched,
 		})

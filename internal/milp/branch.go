@@ -61,6 +61,18 @@ type Params struct {
 	// best-bound order in fixed-size epochs and merged in dispatch order
 	// (see parallel.go).
 	Workers int
+	// FastSearch selects the work-stealing engine (fast.go) instead:
+	// per-worker deques with best-bound-biased stealing, a lock-free
+	// incumbent published by monotonic compare-and-swap, and expanded nodes
+	// solved warm from the parent basis (dual repair + true-cost primal
+	// cleanup) with no epoch barrier. Workers sets the worker count
+	// (minimum 1). The returned optimum and status are exact, but the
+	// trajectory — node order, Nodes, SimplexIters, Kernel counters, and
+	// WHICH of several tied optimal solutions is returned — depends on
+	// goroutine scheduling and is NOT reproducible across runs or worker
+	// counts. Deterministic engines replay; FastSearch certifies: callers
+	// that need an audited result gate it through verify.CheckOptimal.
+	FastSearch bool
 	// WarmStart, if non-nil, is checked for feasibility and installed as
 	// the initial incumbent.
 	WarmStart []float64
@@ -87,8 +99,9 @@ type Params struct {
 	Log io.Writer
 	// Interrupt, when non-nil, requests a cooperative stop: close the
 	// channel and the search halts at the next node boundary (sequential
-	// engine) or epoch boundary (parallel engine), returning the
-	// incumbent anytime solution (StatusFeasible plus its gap) exactly
+	// engine), epoch boundary (parallel engine), or per-worker node
+	// boundary (FastSearch, where every worker loop polls it), returning
+	// the incumbent anytime solution (StatusFeasible plus its gap) exactly
 	// as if the time limit had expired. letdma wires SIGINT to this.
 	Interrupt <-chan struct{}
 }
@@ -314,6 +327,9 @@ func (st *searchState) finish(openBound float64, nodes, iters int, hitLimit bool
 
 // Solve minimizes or maximizes the model by LP-based branch and bound.
 func Solve(m *Model, p Params) (*Solution, error) {
+	if p.FastSearch {
+		return solveFast(m, p)
+	}
 	if p.Workers >= 1 {
 		return solveEpochs(m, p)
 	}

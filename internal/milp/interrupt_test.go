@@ -30,26 +30,31 @@ func interruptModel() (*Model, []float64) {
 }
 
 // TestInterruptReturnsIncumbent: a pre-closed Interrupt channel stops
-// both engines at their first boundary check; with a warm start the
-// anytime incumbent comes back as StatusFeasible (or StatusOptimal if
-// the root already proved it) instead of an error or no output.
+// every engine at its first boundary check — the sequential and epoch
+// engines at the dispatcher loop head, FastSearch inside each worker's
+// per-node loop — and with a warm start the anytime incumbent comes back
+// as StatusFeasible (or StatusOptimal if the root already proved it)
+// instead of an error or no output.
 func TestInterruptReturnsIncumbent(t *testing.T) {
-	for _, workers := range []int{0, 2} {
+	for _, tc := range []struct {
+		workers int
+		fast    bool
+	}{{0, false}, {2, false}, {1, true}, {4, true}} {
 		m, ws := interruptModel()
 		stop := make(chan struct{})
 		close(stop)
-		sol, err := Solve(m, Params{Workers: workers, WarmStart: ws, Interrupt: stop})
+		sol, err := Solve(m, Params{Workers: tc.workers, FastSearch: tc.fast, WarmStart: ws, Interrupt: stop})
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("workers=%d fast=%v: %v", tc.workers, tc.fast, err)
 		}
 		if sol.X == nil {
-			t.Fatalf("workers=%d: no incumbent after interrupt", workers)
+			t.Fatalf("workers=%d fast=%v: no incumbent after interrupt", tc.workers, tc.fast)
 		}
 		if sol.Status != StatusFeasible && sol.Status != StatusOptimal {
-			t.Fatalf("workers=%d: status = %v, want feasible/optimal anytime solution", workers, sol.Status)
+			t.Fatalf("workers=%d fast=%v: status = %v, want feasible/optimal anytime solution", tc.workers, tc.fast, sol.Status)
 		}
 		if sol.Status == StatusFeasible && sol.Gap <= 0 {
-			t.Errorf("workers=%d: interrupted solve reported gap %g, want positive", workers, sol.Gap)
+			t.Errorf("workers=%d fast=%v: interrupted solve reported gap %g, want positive", tc.workers, tc.fast, sol.Gap)
 		}
 	}
 }

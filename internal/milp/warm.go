@@ -166,6 +166,17 @@ type KernelStats struct {
 	// LuNnz accumulates the L+U nonzeros over all refactorizations: fill-in
 	// relative to the basis-matrix nonzeros measures factorization quality.
 	LuNnz int
+	// WarmExpands counts expanded nodes whose relaxation was solved to
+	// true-cost optimality directly from the parent basis (dual repair plus
+	// primal cleanup) instead of the cold two-phase path. Always 0 for the
+	// deterministic engines, which cold-solve every expanded node to stay
+	// replay-identical; only the FastSearch engine takes this path.
+	WarmExpands int
+	// Steals counts work-stealing events (a worker taking a node from
+	// another worker's deque). FastSearch only; 0 otherwise. Like every
+	// counter under FastSearch it depends on scheduling and is NOT
+	// reproducible across runs.
+	Steals int
 }
 
 func (k *KernelStats) add(o KernelStats) {
@@ -184,6 +195,8 @@ func (k *KernelStats) add(o KernelStats) {
 	k.EtaUpdates += o.EtaUpdates
 	k.EtaNnz += o.EtaNnz
 	k.LuNnz += o.LuNnz
+	k.WarmExpands += o.WarmExpands
+	k.Steals += o.Steals
 }
 
 // addCounters folds one solve's kernel counters into the aggregate.
@@ -232,10 +245,29 @@ func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objO
 			return probeInfeasible, 0, kernelCounters{}
 		}
 	}
-	if len(snap.Cols) != p.m || len(snap.States) != p.n+p.m || len(snap.ArtSign) != p.m {
-		return probeFallback, 0, kernelCounters{}
+	s, ok := newWarmState(p, snap)
+	if !ok {
+		var ctr kernelCounters
+		if s != nil {
+			ctr = s.counters
+		}
+		return probeFallback, 0, ctr
 	}
+	out, iters := s.dualFathom(incObj, gcdStep, objOffset, budget, deadline, false)
+	return out, iters, s.counters
+}
 
+// newWarmState rebuilds the parent basis snapshot on an already-built child
+// problem: artificial columns pinned to zero with the snapshot's signs,
+// nonbasic values taken from the child's bounds, deterministically perturbed
+// pricing costs, and a fresh factorization. ok is false when the snapshot
+// does not fit the problem shape, a nonbasic state points at an infinite
+// bound, or the refactorization is singular; the returned state (nil only on
+// the shape mismatch) still carries its linear-algebra counters.
+func newWarmState(p *lpProblem, snap *Basis) (*simplexState, bool) {
+	if len(snap.Cols) != p.m || len(snap.States) != p.n+p.m || len(snap.ArtSign) != p.m {
+		return nil, false
+	}
 	for i := 0; i < p.m; i++ {
 		// Artificials are pinned to zero (the snapshot comes from a
 		// completed phase 2) but must carry the originating solve's sign so
@@ -256,12 +288,12 @@ func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objO
 		switch s.state[j] {
 		case stLower:
 			if math.IsInf(p.lo[j], -1) {
-				return probeFallback, 0, s.counters
+				return s, false
 			}
 			s.xval[j] = p.lo[j]
 		case stUpper:
 			if math.IsInf(p.hi[j], 1) {
-				return probeFallback, 0, s.counters
+				return s, false
 			}
 			s.xval[j] = p.hi[j]
 		case stFree:
@@ -286,10 +318,90 @@ func warmProbe(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objO
 	}
 	s.buildRowwise()
 	if err := s.refactorize(); err != nil {
-		return probeFallback, 0, s.counters
+		return s, false
 	}
-	out, iters := s.dualFathom(incObj, gcdStep, objOffset, budget, deadline)
-	return out, iters, s.counters
+	return s, true
+}
+
+// warmSolveLP solves a child node's relaxation from the parent basis all the
+// way to a reportable LP answer, not just a fathoming verdict: the dual
+// simplex repairs primal feasibility (fathoming on the way exactly like
+// warmProbe), then a true-cost primal cleanup runs to optimality and the
+// vertex is reported from a fresh factorization, mirroring solveLP's
+// finalization. Only the FastSearch engine calls this — the deterministic
+// engines must cold-solve expanded nodes to stay replay-identical, because
+// the warm vertex may be a different (equally optimal) vertex than the cold
+// one. Statuses: lpCutoff/lpInfeasible fathom the node, lpOptimal carries
+// x/obj/basis (obj WITHOUT the objective constant, like solveLP),
+// lpTimeLimit surfaces an expired deadline, and anything the warm path
+// cannot decide authoritatively comes back as probeFallback for a cold
+// re-solve.
+func warmSolveLP(minM *Model, lo, hi []float64, snap *Basis, incObj, gcdStep, objOffset float64, budget int, deadline time.Time) (lpSolution, probeOutcome) {
+	p := buildLP(minM, lo, hi)
+	for j := 0; j < p.n; j++ {
+		if p.lo[j] > p.hi[j]+feasTol {
+			return lpSolution{status: lpInfeasible}, probeInfeasible
+		}
+	}
+	s, ok := newWarmState(p, snap)
+	if !ok {
+		var ctr kernelCounters
+		if s != nil {
+			ctr = s.counters
+		}
+		return lpSolution{counters: ctr}, probeFallback
+	}
+	out, iters := s.dualFathom(incObj, gcdStep, objOffset, budget, deadline, true)
+	sol := lpSolution{iters: iters, counters: s.counters}
+	switch out {
+	case probeCutoff:
+		sol.status = lpCutoff
+		return sol, out
+	case probeInfeasible:
+		sol.status = lpInfeasible
+		return sol, out
+	case probeFallback:
+		return sol, out
+	}
+
+	// probeOpen: the basis is primal feasible. Finish on the TRUE costs —
+	// the dual sweep priced a perturbed objective, so a few primal pivots
+	// may remain before the vertex is optimal for the real one.
+	st2, it2 := s.iterate(p.c, deadline)
+	sol.iters += it2
+	sol.counters = s.counters
+	switch st2 {
+	case lpTimeLimit:
+		sol.status = lpTimeLimit
+		return sol, probeFallback
+	case lpUnbounded:
+		// Sound from a primal-feasible basis, and the caller's unbounded
+		// handling does not need a vertex.
+		sol.status = lpUnbounded
+		return sol, probeOpen
+	case lpIterLimit, lpInfeasible:
+		// lpInfeasible here is iterate's tiny-pivot refactorization failure,
+		// not a feasibility verdict; both cases go to the cold path.
+		return sol, probeFallback
+	}
+	// Final cleanup solve, exactly as in solveLP: the reported vertex
+	// carries one FTRAN of rounding, not the eta-file drift.
+	if err := s.refactorize(); err != nil {
+		sol.counters = s.counters
+		return sol, probeFallback
+	}
+	x := make([]float64, p.nStruct)
+	copy(x, s.xval[:p.nStruct])
+	obj := 0.0
+	for j := 0; j < p.n; j++ {
+		obj += p.c[j] * s.xval[j]
+	}
+	sol.status = lpOptimal
+	sol.x = x
+	sol.obj = obj
+	sol.basis = s.snapshotBasis()
+	sol.counters = s.counters
+	return sol, probeOpen
 }
 
 // certBox returns the per-column bounds used by the certificate
@@ -544,7 +656,12 @@ func (s *simplexState) certLowerBound(y []float64) float64 {
 // is safe whether or not the basis is (numerically) dual-feasible — the
 // certificate evaluation against the original matrix data, not the drifted
 // simplex iterates, is what carries the proof.
-func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int, deadline time.Time) (probeOutcome, int) {
+//
+// wantSolve disables the far-from-cutoff stall bailout: a fathoming probe
+// that plateaus without a fathom in reach is wasted work, but a full warm
+// solve (warmSolveLP) wants primal feasibility regardless of where the bound
+// sits, so only the pivot budget and the deadline bound it.
+func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int, deadline time.Time, wantSolve bool) (probeOutcome, int) {
 	p := s.p
 	y := make([]float64, p.m)
 	w := make([]float64, p.m)
@@ -596,7 +713,7 @@ func (s *simplexState) dualFathom(incObj, gcdStep, objOffset float64, budget int
 		}
 		if zbRaw > bestZb+1e-12*(1+math.Abs(bestZb)) {
 			bestZb, stall = zbRaw, 0
-		} else if stall++; stall > stallLimit && incObj-zb > stallGap {
+		} else if stall++; !wantSolve && stall > stallLimit && incObj-zb > stallGap {
 			return probeFallback, iters
 		}
 

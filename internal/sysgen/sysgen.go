@@ -54,12 +54,25 @@ const (
 	// approaches the inter-instant windows, stressing Constraint 10
 	// and the cost model's ceil-division rounding.
 	Extremes Family = "extremes"
+	// DeepTies builds symmetric near-tie systems: one writer fans
+	// identical-size labels out to readers with identical periods, so
+	// layout permutations and transfer groupings tie to within the
+	// integer objective step and the branch-and-bound tree is deep and
+	// symmetric instead of pruned early. This is the adversarial family
+	// for the nondeterministic FastSearch engine — racing workers publish
+	// equal-objective incumbents concurrently and the steal heuristic
+	// keeps redistributing equally promising subtrees — and is what the
+	// oracle-gated fastsearch lane of the harness leans on.
+	DeepTies Family = "deep-ties"
 )
 
 // Families returns all families in their canonical order (the order
-// GenerateN cycles through).
+// GenerateN cycles through). New families are appended at the end: the
+// rng stream of Generate mixes the family INDEX into the seed, so an
+// insertion anywhere else would silently regenerate every pinned
+// scenario of the families behind it.
 func Families() []Family {
-	return []Family{Harmonic, Coprime, Stars, SingleCore, Saturated, Extremes}
+	return []Family{Harmonic, Coprime, Stars, SingleCore, Saturated, Extremes, DeepTies}
 }
 
 // Scenario is one generated system plus its provenance and expectations.
@@ -118,6 +131,8 @@ func Generate(seed int64, f Family) (*Scenario, error) {
 		sc.ExpectInfeasible = infeasible
 	case Extremes:
 		sc.Sys = genPeriodic(rng, extremesPeriods(), sizeExtreme)
+	case DeepTies:
+		sc.Sys = genDeepTies(rng)
 	}
 	return sc, nil
 }
@@ -276,6 +291,44 @@ func genSingleCore(rng *rand.Rand) *model.System {
 			continue
 		}
 		sys.MustAddLabel(fmt.Sprintf("loc%d", l), sizeSmall(rng), w, r)
+	}
+	sys.AssignRateMonotonicPriorities()
+	return sys
+}
+
+// genDeepTies builds the FastSearch-stressing symmetric system: every
+// task shares one period, every label one size, and one writer on core 0
+// fans out to remote readers. All transfer costs are then identical, so
+// the MILP's layout positions and slot assignments are interchangeable
+// up to symmetry: the LP relaxation ties (or near-ties, within the
+// integer objective step) across whole orbits of the tree, which defeats
+// early bound-based pruning and forces the search deep. The fan-out is
+// kept at 2 labels (optionally one extra reader on a third core), so
+// |C(s0)| is 4-5 — inside the harness's default MILPMaxComms, because a
+// tie family that the MILP lanes skip would stress nothing.
+func genDeepTies(rng *rand.Rand) *model.System {
+	cores := 2 + rng.Intn(2)
+	sys := model.NewSystem(cores)
+	period := []timeutil.Time{
+		timeutil.Milliseconds(5), timeutil.Milliseconds(10), timeutil.Milliseconds(20),
+	}[rng.Intn(3)]
+	size := int64(256 << rng.Intn(4)) // one size shared by every label
+	wcet := period / timeutil.Time(25+rng.Intn(25))
+
+	hub := sys.MustAddTask("W", period, wcet, 0)
+	readers := make([]*model.Task, 2)
+	for i := range readers {
+		core := model.CoreID(1 + rng.Intn(cores-1))
+		readers[i] = sys.MustAddTask(fmt.Sprintf("R%d", i), period, wcet, core)
+	}
+	sys.MustAddLabel("D0", size, hub, readers[0])
+	if cores > 2 && rng.Intn(2) == 0 {
+		// A second remote reader for D1: 1 write + 2 reads + D0's pair = 5.
+		extraCore := model.CoreID(1 + (int(readers[1].Core) % (cores - 1)))
+		extra := sys.MustAddTask("R2", period, wcet, extraCore)
+		sys.MustAddLabel("D1", size, hub, readers[1], extra)
+	} else {
+		sys.MustAddLabel("D1", size, hub, readers[1])
 	}
 	sys.AssignRateMonotonicPriorities()
 	return sys

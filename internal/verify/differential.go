@@ -38,6 +38,15 @@ type Options struct {
 	// Workers is passed to the combinatorial solver and the MILP; any
 	// value must yield byte-identical results (asserted in tests).
 	Workers int
+	// FastSearch additionally solves each MILP-tractable instance with
+	// the nondeterministic work-stealing engine (milp.Params.FastSearch)
+	// and gates the outcome through CheckOptimal. Unlike every other
+	// path, the fast engine carries no bit-identity guarantee — its node
+	// order depends on goroutine scheduling — so what the harness holds
+	// it to is the certified contract: a feasible incumbent, an honestly
+	// reported objective, and the same decided status and optimum as the
+	// deterministic engine.
+	FastSearch bool
 	// Alpha is the per-core utilization share granted to DMA management
 	// when deriving the data-acquisition deadlines gamma_i via response
 	// time analysis (as in the paper's Section VII campaigns). When the
@@ -180,6 +189,26 @@ func runSolvers(a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.
 			res.milp = sol
 			if sol.Status == milp.StatusOptimal {
 				rep.Violations.Merge("milp/"+obj.String(), CheckSolution(a, cm, sol.Layout, sol.Sched, gamma))
+			}
+		}
+
+		if opts.FastSearch {
+			rep.ran("fastsearch")
+			fast, err := letopt.Solve(a, cm, gamma, obj, letopt.Options{
+				MILP: milp.Params{TimeLimit: opts.MILPTimeLimit, Workers: opts.Workers, FastSearch: true},
+			})
+			if err != nil {
+				// letopt rejects validator-failing decodes with an error, so
+				// a FastSearch incumbent that does not survive dma.Validate
+				// surfaces here rather than as a nil result.
+				rep.Violations.Addf(violation.Objective, "Differential",
+					"fastsearch/%s: %v", obj, err)
+			} else {
+				rep.Violations.Merge("fastsearch/"+obj.String(),
+					CheckOptimal(a, cm, gamma, obj, fast, OptimalOptions{
+						Reference: res.milp,
+						TimeLimit: opts.MILPTimeLimit,
+					}))
 			}
 		}
 	}
