@@ -25,9 +25,14 @@
 // fuzz accept -fast too, where every FastSearch result is gated through
 // the optimality certificate); fig2/table1/campaign/robust accept -csv.
 //
-// SIGINT during a long MILP solve stops the search at the next node or
-// epoch boundary and reports the incumbent anytime solution; the process
-// then exits with code 3 instead of dying with no output.
+// SIGINT or SIGTERM during a long MILP solve stops the search at the next
+// node or epoch boundary and reports the incumbent anytime solution; the
+// process then exits with code 3 instead of dying with no output. An
+// explicit -timeout arms the same stop as a wall-clock budget for the
+// whole command.
+//
+// submit and status talk to a running letdmad daemon (see cmd/letdmad)
+// instead of solving in-process.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"letdma/internal/dma"
@@ -46,6 +52,7 @@ import (
 	"letdma/internal/model"
 	"letdma/internal/multidma"
 	"letdma/internal/rta"
+	"letdma/internal/serve"
 	"letdma/internal/sim"
 	"letdma/internal/sysgen"
 	"letdma/internal/timeutil"
@@ -58,39 +65,47 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-// run wires SIGINT to the cooperative solver interrupt and dispatches.
-// The first interrupt asks the MILP search to stop at its next node or
-// epoch boundary; if the command still completes with output (the
-// incumbent anytime solution), the process exits with code 3 so scripts
-// can tell an interrupted-but-useful run from a clean one.
+// run wires SIGINT and SIGTERM to the cooperative solver interrupt and
+// dispatches. The first signal asks the MILP search to stop at its next
+// node or epoch boundary; if the command still completes with output (the
+// incumbent anytime solution), the process exits with code 3 so scripts —
+// and supervisors that terminate with SIGTERM — can tell an
+// interrupted-but-useful run from a clean one.
 func run(argv []string) int {
-	stop := make(chan struct{})
+	stopper := serve.NewStopper()
 	sig := make(chan os.Signal, 1)
 	done := make(chan struct{})
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		select {
-		case <-sig:
-			fmt.Fprintln(os.Stderr, "letdma: interrupt — stopping the solver at the next boundary")
-			close(stop)
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "letdma: %v — stopping the solver at the next boundary\n", s)
+			stopper.Stop()
 		case <-done:
 		}
 	}()
 	defer close(done)
 	defer signal.Stop(sig)
-	return runWith(argv, stop)
+	return runWith(argv, stopper)
 }
 
 // solveInterrupt is the interrupt channel of the current invocation; the
 // common config plumbs it into every MILP solve.
 var solveInterrupt <-chan struct{}
 
+// solveStopper owns solveInterrupt; an explicit -timeout arms its
+// wall-clock deadline (serve.Stopper.StopAfter) — the same code path the
+// letdmad daemon runs every job under.
+var solveStopper *serve.Stopper
+
 // runWith dispatches the subcommand and returns the process exit code:
 // 0 on success, 1 on a command error (including verification failures),
-// 2 on usage errors, 3 when the run was interrupted but still produced
-// its (anytime) output. Split from main so exit codes are testable.
-func runWith(argv []string, stop <-chan struct{}) int {
-	solveInterrupt = stop
+// 2 on usage errors, 3 when the run was interrupted (signal or expired
+// -timeout budget) but still produced its (anytime) output. Split from
+// main so exit codes are testable.
+func runWith(argv []string, stopper *serve.Stopper) int {
+	solveStopper = stopper
+	solveInterrupt = stopper.C()
 	if len(argv) < 1 {
 		usage()
 		return 2
@@ -124,6 +139,10 @@ func runWith(argv []string, stop <-chan struct{}) int {
 		err = cmdLP(args)
 	case "export":
 		err = cmdExport(args)
+	case "submit":
+		err = cmdSubmit(args)
+	case "status":
+		err = cmdStatus(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -135,11 +154,13 @@ func runWith(argv []string, stop <-chan struct{}) int {
 		fmt.Fprintf(os.Stderr, "letdma %s: %v\n", cmd, err)
 		return 1
 	}
-	select {
-	case <-stop:
-		fmt.Fprintln(os.Stderr, "letdma: interrupted; the output above is the incumbent anytime solution")
+	if stopper.Stopped() {
+		if stopper.Expired() {
+			fmt.Fprintln(os.Stderr, "letdma: -timeout budget expired; the output above is the incumbent anytime solution")
+		} else {
+			fmt.Fprintln(os.Stderr, "letdma: interrupted; the output above is the incumbent anytime solution")
+		}
 		return 3
-	default:
 	}
 	return 0
 }
@@ -161,6 +182,8 @@ commands:
   robust       fault-injection robustness margins and survival curves
   lp           dump the MILP in LP format
   export       dump the selected system as a JSON description
+  submit       submit a job to a running letdmad daemon
+  status       query job status on a running letdmad daemon
 
 any command accepts -f system.json to analyze your own system
 
@@ -188,7 +211,7 @@ func commonFlags(fs *flag.FlagSet) *common {
 		alpha:   fs.Float64("alpha", 0.2, "sensitivity factor for data-acquisition deadlines (0 disables)"),
 		obj:     fs.String("obj", "del", "objective: none | dmat | del"),
 		solver:  fs.String("solver", "comb", "solver: comb | milp"),
-		timeout: fs.Duration("timeout", 60*time.Second, "MILP time limit"),
+		timeout: fs.Duration("timeout", 0, "wall-clock budget for the whole command: when it expires the solver stops at the next boundary and reports the incumbent anytime solution (exit code 3); each MILP solve additionally keeps its 60s default time limit (0 = no budget)"),
 		slots:   fs.Int("slots", 0, "MILP transfer slots (0 = |C(s0)|)"),
 		workers: fs.Int("workers", 0, "worker goroutines for experiment fan-out and branch-and-bound (0 = sequential; results are identical for every count)"),
 		fast:    fs.Bool("fast", false, "use the work-stealing FastSearch MILP engine: same certified optimum, faster wall clock, but node order (and which of several tied optima is returned) depends on goroutine scheduling — audit results with 'verify -fast'"),
@@ -239,17 +262,25 @@ func (c *common) config() (experiments.Config, error) {
 		return experiments.Config{}, fmt.Errorf("unknown solver %q", *c.solver)
 	}
 	cfg := experiments.Config{
-		Alpha:         *c.alpha,
-		Objective:     obj,
-		Solver:        solver,
-		MILPTimeLimit: *c.timeout,
-		Slots:         *c.slots,
-		Workers:       *c.workers,
-		FastSearch:    *c.fast,
-		Interrupt:     solveInterrupt,
+		Alpha:      *c.alpha,
+		Objective:  obj,
+		Solver:     solver,
+		Slots:      *c.slots,
+		Workers:    *c.workers,
+		FastSearch: *c.fast,
+		Interrupt:  solveInterrupt,
 	}
 	if *c.milplog {
 		cfg.MILPLog = os.Stderr
+	}
+	// An explicit -timeout is a true wall-clock budget for the whole
+	// command, not a per-solve MILP limit (each MILP solve keeps its
+	// default 60s backstop): it arms the shared stopper's deadline — the
+	// exact code path letdmad runs every job under — so expiry stops the
+	// search at the next boundary and the incumbent anytime solution is
+	// still printed (exit code 3).
+	if *c.timeout > 0 && solveStopper != nil {
+		solveStopper.StopAfter(*c.timeout)
 	}
 	return cfg, nil
 }

@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"letdma/internal/serve"
 )
 
 // runSilenced invokes run() with stdout/stderr pointed at the null
@@ -105,9 +107,9 @@ func runInterrupted(t *testing.T, args ...string) int {
 	oldOut, oldErr := os.Stdout, os.Stderr
 	os.Stdout, os.Stderr = devnull, devnull
 	defer func() { os.Stdout, os.Stderr = oldOut, oldErr }()
-	stop := make(chan struct{})
-	close(stop)
-	return runWith(args, stop)
+	stopper := serve.NewStopper()
+	stopper.Stop()
+	return runWith(args, stopper)
 }
 
 // TestInterruptExitCode: an interrupted MILP solve still reports the
@@ -122,6 +124,44 @@ func TestInterruptExitCode(t *testing.T) {
 	}
 	if got := runInterrupted(t, "export", "-f", "/nonexistent/system.json"); got != 1 {
 		t.Errorf("interrupted failing command: exit code %d, want 1", got)
+	}
+}
+
+// TestTimeoutBudgetExpiry: a -timeout too small for the MILP stops the
+// solve at its first boundary through the same stopper the daemon uses
+// for per-job deadlines — the run prints the incumbent, flags the expiry
+// on stderr, and exits 3 like a signal interrupt. A generous budget must
+// not trip: the lite comb solve finishes well inside it and exits 0.
+func TestTimeoutBudgetExpiry(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = devnull, w
+	errc := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		errc <- string(buf)
+	}()
+	code := runWith([]string{"schedule", "-lite", "-solver", "milp", "-timeout", "1ns"}, serve.NewStopper())
+	w.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	stderr := <-errc
+	if code != 3 {
+		t.Fatalf("expired -timeout: exit code %d, want 3 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "-timeout budget expired") {
+		t.Errorf("stderr lacks the expiry notice; got:\n%s", stderr)
+	}
+
+	if got := runSilenced(t, "schedule", "-lite", "-timeout", "1m"); got != 0 {
+		t.Errorf("comfortable -timeout: exit code %d, want 0", got)
 	}
 }
 
@@ -146,9 +186,9 @@ func runInterruptedCapture(t *testing.T, args ...string) (int, string) {
 		buf, _ := io.ReadAll(r)
 		outc <- string(buf)
 	}()
-	stop := make(chan struct{})
-	close(stop)
-	code := runWith(args, stop)
+	stopper := serve.NewStopper()
+	stopper.Stop()
+	code := runWith(args, stopper)
 	w.Close()
 	os.Stdout, os.Stderr = oldOut, oldErr
 	return code, <-outc

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"letdma/internal/serve"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, the injected signal channel, and the exit-code channel.
+func startDaemon(t *testing.T, journal string) (string, chan os.Signal, chan int) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0", "-journal", journal, "-workers", "1", "-q"}, sig, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sig, code
+	case c := <-code:
+		t.Fatalf("daemon exited %d before becoming ready", c)
+		return "", nil, nil
+	}
+}
+
+func stopDaemon(t *testing.T, sig chan os.Signal, code chan int) {
+	t.Helper()
+	sig <- syscall.SIGTERM
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("drained daemon exited %d, want 0", c)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+func submitLite(t *testing.T, base string, alpha float64) (int, serve.JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"lite": true, "alpha": alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func pollDone(t *testing.T, base, key string) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never became terminal (last %+v)", key, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonLifecycle is the service smoke test: start, solve a lite job
+// over HTTP, drain on SIGTERM with exit 0, then restart on the same
+// journal and observe the completed job served from the cache.
+func TestDaemonLifecycle(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "letdmad.journal")
+	base, sig, code := startDaemon(t, journal)
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+
+	status, st := submitLite(t, base, 0.3)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", status)
+	}
+	final := pollDone(t, base, st.Key)
+	if final.State != serve.StateDone || !final.Result.HasIncumbent() {
+		t.Fatalf("job finished as %+v", final)
+	}
+	stopDaemon(t, sig, code)
+
+	// Restart over the same journal: the completed job is terminal the
+	// moment the daemon is ready — no re-solve, straight from the cache.
+	base2, sig2, code2 := startDaemon(t, journal)
+	resp2, err := http.Get(base2 + "/jobs/" + st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached serve.JobStatus
+	err = json.NewDecoder(resp2.Body).Decode(&cached)
+	if cerr := resp2.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.State != serve.StateDone || cached.Result == nil ||
+		cached.Result.Objective != final.Result.Objective {
+		t.Fatalf("restarted daemon replayed %+v, want cached %+v", cached, final)
+	}
+	// A resubmit of the same spec is answered 200 from the cache.
+	if status, _ := submitLite(t, base2, 0.3); status != http.StatusOK {
+		t.Errorf("cached resubmit: HTTP %d, want 200", status)
+	}
+	stopDaemon(t, sig2, code2)
+}
+
+// TestDaemonBadFlags: unparseable flags exit 2 without starting anything.
+func TestDaemonBadFlags(t *testing.T) {
+	if c := run([]string{"-no-such-flag"}, nil, nil); c != 2 {
+		t.Errorf("bad flags exit = %d, want 2", c)
+	}
+}
+
+// TestDaemonBadListenAddr: an unbindable address shuts the solver side
+// down and exits 1.
+func TestDaemonBadListenAddr(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j")
+	if c := run([]string{"-addr", "256.0.0.1:0", "-journal", journal, "-q"}, nil, nil); c != 1 {
+		t.Errorf("bad addr exit = %d, want 1", c)
+	}
+}
+
+// TestDaemonBadJournalPath: an unopenable journal is a startup error.
+func TestDaemonBadJournalPath(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "missing-dir", "j")
+	if c := run([]string{"-journal", journal, "-q"}, nil, nil); c != 1 {
+		t.Errorf("bad journal exit = %d, want 1", c)
+	}
+}

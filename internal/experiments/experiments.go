@@ -117,6 +117,18 @@ type Solved struct {
 // SolveProposed derives gamma from the alpha-sensitivity procedure, runs
 // the configured solver(s) and returns the winning solution.
 func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
+	solved, _, _, err := SolveFull(a, cfg)
+	return solved, err
+}
+
+// SolveFull is SolveProposed plus the raw MILP result and the derived
+// gamma deadlines. Callers that certify or re-validate the result need
+// all three: the letdmad service gates FastSearch jobs through
+// verify.CheckOptimal, which replays the incumbent against (analysis,
+// gamma, objective) and cross-checks the raw milp status, and its retry
+// policy reads Result.StopCause. The MILP result is nil when only the
+// combinatorial solver ran.
+func SolveFull(a *let.Analysis, cfg Config) (*Solved, *letopt.Result, dma.Deadlines, error) {
 	cfg.fill()
 	cm := *cfg.CostModel
 	intf := rta.LETDemand(a, cm, dma.GiottoPerCommSchedule(a))
@@ -125,7 +137,7 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 		var err error
 		gamma, err = rta.Gammas(a, intf, cfg.Alpha)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: alpha=%.2f: %w", cfg.Alpha, err)
+			return nil, nil, nil, fmt.Errorf("experiments: alpha=%.2f: %w", cfg.Alpha, err)
 		}
 	}
 
@@ -133,7 +145,7 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 	comb, err := combopt.SolveWithOptions(a, cm, gamma, cfg.Objective,
 		combopt.Options{Workers: cfg.Workers})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: alpha=%.2f infeasible: %w", cfg.Alpha, err)
+		return nil, nil, gamma, fmt.Errorf("experiments: alpha=%.2f infeasible: %w", cfg.Alpha, err)
 	}
 	solved := &Solved{
 		Layout:       comb.Layout,
@@ -143,6 +155,7 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 		Objective:    comb.Objective,
 		SolveTime:    time.Since(start),
 	}
+	var milpRes *letopt.Result
 	if cfg.Solver == SolverMILP {
 		res, err := letopt.Solve(a, cm, gamma, cfg.Objective, letopt.Options{
 			Slots:      cfg.Slots,
@@ -151,8 +164,9 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 			WarmSched:  comb.Sched,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, gamma, err
 		}
+		milpRes = res
 		solved.SolveTime = time.Since(start)
 		solved.MILPStatus = res.Status.String()
 		if res.Sched != nil {
@@ -162,7 +176,7 @@ func SolveProposed(a *let.Analysis, cfg Config) (*Solved, error) {
 			solved.Objective = res.Objective
 		}
 	}
-	return solved, nil
+	return solved, milpRes, gamma, nil
 }
 
 // Fig2Row holds the four per-task worst-case data-acquisition latencies.

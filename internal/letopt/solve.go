@@ -30,6 +30,11 @@ type Result struct {
 	Layout *dma.Layout
 	Sched  *dma.Schedule
 	Status milp.Status
+	// StopCause refines an early stop (milp.Solution.StopCause): the
+	// letdmad service reads it to tell a deadline interrupt (job completes
+	// with its anytime incumbent) from a numerical retreat (retryable)
+	// from an exhausted budget (final).
+	StopCause milp.StopCause
 	// Objective is the achieved MILP objective (0 for NO-OBJ).
 	Objective float64
 	// BestBound is the proven bound on the objective at termination.
@@ -81,6 +86,7 @@ func Solve(a *let.Analysis, cm dma.CostModel, gamma dma.Deadlines, obj dma.Objec
 	}
 	res := &Result{
 		Status:       sol.Status,
+		StopCause:    sol.StopCause,
 		Objective:    sol.Obj,
 		BestBound:    sol.BestBound,
 		Gap:          sol.Gap,

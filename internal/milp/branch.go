@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,6 +41,60 @@ func (s Status) String() string {
 	default:
 		return "no-solution"
 	}
+}
+
+// StopCause records why an early-stopped search stopped. It refines the
+// limit statuses (StatusFeasible, StatusNoSolution): callers that must
+// react differently to a cooperative interrupt (a service job deadline, a
+// SIGINT/SIGTERM) than to a numerical retreat or an exhausted budget read
+// it instead of guessing from the status. For decided solves (optimal,
+// infeasible, unbounded) it is StopNone; a GapTol-terminated solve, which
+// still reports StatusOptimal, records StopGap.
+type StopCause int
+
+const (
+	// StopNone: the search ran to a decision without stopping early.
+	StopNone StopCause = iota
+	// StopInterrupt: Params.Interrupt was closed (anytime stop).
+	StopInterrupt
+	// StopNumerical: the LP kernel lost its numerical footing on an open
+	// node (lpNumerical) and the search declined to decide the instance.
+	// Transient in the sense that a re-solve — possibly on the other
+	// engine or with different budgets — may well decide it; the letdmad
+	// retry policy treats exactly this cause as retryable.
+	StopNumerical
+	// StopLimit: a resource budget expired (TimeLimit, MaxNodes, or the
+	// kernel's per-LP iteration budget).
+	StopLimit
+	// StopGap: the relative MIP gap dropped below Params.GapTol.
+	StopGap
+)
+
+// String names the cause.
+func (c StopCause) String() string {
+	switch c {
+	case StopNone:
+		return "none"
+	case StopInterrupt:
+		return "interrupt"
+	case StopNumerical:
+		return "numerical"
+	case StopLimit:
+		return "limit"
+	case StopGap:
+		return "gap"
+	default:
+		return "unknown"
+	}
+}
+
+// stopCauseOfLP maps an undecided LP verdict that stops the search to its
+// StopCause: the numerical guard is distinguished from budget exhaustion.
+func stopCauseOfLP(s lpStatus) StopCause {
+	if s == lpNumerical {
+		return StopNumerical
+	}
+	return StopLimit
 }
 
 // Params controls the branch-and-bound search.
@@ -136,6 +191,9 @@ type Solution struct {
 	// optimality (nil otherwise); feed it to Params.WarmBasis to warm-start
 	// a re-solve of the same model shape.
 	RootBasis *Basis
+	// StopCause refines an early stop: interrupt vs numerical retreat vs
+	// budget limit vs gap tolerance. StopNone for decided solves.
+	StopCause StopCause
 }
 
 type bbNode struct {
@@ -167,6 +225,16 @@ type searchState struct {
 	warmBudget int     // pivot budget per warm probe
 	stats      KernelStats
 	rootBasis  *Basis
+	// stopCause holds the FIRST recorded StopCause (0 = none). Atomic
+	// because FastSearch workers note causes concurrently; the sequential
+	// and epoch engines pay one uncontended CAS per (rare) stop event.
+	stopCause atomic.Int32
+}
+
+// noteStop records the first cause that stopped the search; later causes
+// are ignored so the report names what actually cut the run short.
+func (st *searchState) noteStop(c StopCause) {
+	st.stopCause.CompareAndSwap(0, int32(c))
 }
 
 // prepSearch normalizes the parameters and builds the shared search state.
@@ -295,6 +363,14 @@ func (st *searchState) finish(openBound float64, nodes, iters int, hitLimit bool
 		Nodes: nodes, SimplexIters: iters, Runtime: time.Since(st.start),
 		Kernel: st.stats, RootBasis: st.rootBasis,
 	}
+	if hitLimit {
+		sol.StopCause = StopCause(st.stopCause.Load())
+		if sol.StopCause == StopNone {
+			// A limit stop with no recorded cause can only be a budget
+			// check raced away from its note; report it as the budget.
+			sol.StopCause = StopLimit
+		}
+	}
 	switch {
 	case st.incumbent == nil && !hitLimit:
 		sol.Status = StatusInfeasible
@@ -358,14 +434,17 @@ func Solve(m *Model, p Params) (*Solution, error) {
 
 	for len(stack) > 0 {
 		if p.MaxNodes > 0 && nodes >= p.MaxNodes {
+			st.noteStop(StopLimit)
 			hitLimit = true
 			break
 		}
 		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			st.noteStop(StopLimit)
 			hitLimit = true
 			break
 		}
 		if stopRequested(p.Interrupt) {
+			st.noteStop(StopInterrupt)
 			hitLimit = true
 			break
 		}
@@ -391,6 +470,7 @@ func Solve(m *Model, p Params) (*Solution, error) {
 			// node; treating the relaxation as decided either way would be
 			// unsound, so the node stays open and the search reports an
 			// early stop, exactly like a limit.
+			st.noteStop(stopCauseOfLP(res.status))
 			hitLimit = true
 		case lpCutoff, lpInfeasible:
 			// lpCutoff: the warm probe fathomed the node against the
@@ -433,6 +513,7 @@ func Solve(m *Model, p Params) (*Solution, error) {
 				if p.GapTol > 0 {
 					ob := math.Min(openBound(), lpObj)
 					if relGap(st.incObj, ob) <= p.GapTol {
+						st.noteStop(StopGap)
 						hitLimit = true
 					}
 				}

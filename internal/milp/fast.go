@@ -286,10 +286,19 @@ func (e *fastEngine) process(id int, node *bbNode, ws *fastWorker) {
 
 	// Limits are checked at the node boundary, like the sequential engine's
 	// loop head. A limited node goes back on the queue so the final bound
-	// still accounts for it.
+	// still accounts for it. The interrupt is polled first so a closed
+	// channel is reported as StopInterrupt even when a budget expired in
+	// the same instant — the anytime contract the letdmad deadline and the
+	// SIGINT/SIGTERM paths rely on.
+	if stopRequested(p.Interrupt) {
+		st.noteStop(StopInterrupt)
+		e.requestStop(true)
+		e.deques[id].push(node)
+		return
+	}
 	if (p.MaxNodes > 0 && e.nodes.Load() >= int64(p.MaxNodes)) ||
-		(!st.deadline.IsZero() && time.Now().After(st.deadline)) ||
-		stopRequested(p.Interrupt) {
+		(!st.deadline.IsZero() && time.Now().After(st.deadline)) {
+		st.noteStop(StopLimit)
 		e.requestStop(true)
 		e.deques[id].push(node)
 		return
@@ -307,6 +316,7 @@ func (e *fastEngine) process(id int, node *bbNode, ws *fastWorker) {
 	case lpTimeLimit, lpIterLimit, lpNumerical:
 		// The relaxation is undecided (see the sequential engine); the node
 		// stays open and the solve reports an early stop.
+		st.noteStop(stopCauseOfLP(res.status))
 		e.requestStop(true)
 		e.deques[id].push(node)
 		return
@@ -344,6 +354,7 @@ func (e *fastEngine) process(id int, node *bbNode, ws *fastWorker) {
 			}
 			if p.GapTol > 0 {
 				if ob := math.Min(e.snapshotBound(), lpObj); relGap(obj, ob) <= p.GapTol {
+					st.noteStop(StopGap)
 					e.requestStop(true)
 				}
 			}

@@ -3,6 +3,7 @@ package milp
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // interruptModel builds a knapsack-style model large enough that the
@@ -55,6 +56,41 @@ func TestInterruptReturnsIncumbent(t *testing.T) {
 		}
 		if sol.Status == StatusFeasible && sol.Gap <= 0 {
 			t.Errorf("workers=%d fast=%v: interrupted solve reported gap %g, want positive", tc.workers, tc.fast, sol.Gap)
+		}
+		if sol.Status == StatusFeasible && sol.StopCause != StopInterrupt {
+			t.Errorf("workers=%d fast=%v: StopCause = %v, want interrupt", tc.workers, tc.fast, sol.StopCause)
+		}
+	}
+}
+
+// TestStopCauseTaxonomy: every engine labels WHY it stopped early — the
+// letdmad retry/deadline policy keys off this, so the mapping is pinned:
+// a closed Interrupt reports StopInterrupt, an expired TimeLimit reports
+// StopLimit, and a run to proven optimality reports StopNone.
+func TestStopCauseTaxonomy(t *testing.T) {
+	for _, tc := range []struct {
+		workers int
+		fast    bool
+	}{{0, false}, {2, false}, {2, true}} {
+		m, ws := interruptModel()
+		sol, err := Solve(m, Params{Workers: tc.workers, FastSearch: tc.fast, WarmStart: ws, TimeLimit: time.Nanosecond})
+		if err != nil {
+			t.Fatalf("workers=%d fast=%v: %v", tc.workers, tc.fast, err)
+		}
+		if sol.Status == StatusFeasible && sol.StopCause != StopLimit {
+			t.Errorf("workers=%d fast=%v: time-limited StopCause = %v, want limit", tc.workers, tc.fast, sol.StopCause)
+		}
+
+		m2, _ := interruptModel()
+		sol2, err := Solve(m2, Params{Workers: tc.workers, FastSearch: tc.fast})
+		if err != nil {
+			t.Fatalf("workers=%d fast=%v: %v", tc.workers, tc.fast, err)
+		}
+		if sol2.Status != StatusOptimal {
+			t.Fatalf("workers=%d fast=%v: status = %v, want optimal", tc.workers, tc.fast, sol2.Status)
+		}
+		if sol2.StopCause != StopNone {
+			t.Errorf("workers=%d fast=%v: decided solve StopCause = %v, want none", tc.workers, tc.fast, sol2.StopCause)
 		}
 	}
 }

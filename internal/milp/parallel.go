@@ -49,10 +49,12 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 
 	for len(open) > 0 && !hitLimit {
 		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			st.noteStop(StopLimit)
 			hitLimit = true
 			break
 		}
 		if stopRequested(p.Interrupt) {
+			st.noteStop(StopInterrupt)
 			hitLimit = true
 			break
 		}
@@ -87,6 +89,7 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 		}
 		if p.MaxNodes > 0 {
 			if remaining := p.MaxNodes - nodes; remaining <= 0 {
+				st.noteStop(StopLimit)
 				hitLimit = true
 				break
 			} else if batch > remaining {
@@ -112,6 +115,7 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 			st.stats.add(res.stats)
 			switch res.status {
 			case lpTimeLimit, lpIterLimit, lpNumerical:
+				st.noteStop(stopCauseOfLP(res.status))
 				hitLimit = true
 				continue
 			case lpCutoff, lpInfeasible:
@@ -175,6 +179,7 @@ func solveEpochs(m *Model, p Params) (*Solution, error) {
 		// so it too is independent of the worker count.
 		if p.GapTol > 0 && st.incumbent != nil && !hitLimit {
 			if relGap(st.incObj, boundOf(open)) <= p.GapTol {
+				st.noteStop(StopGap)
 				hitLimit = true
 			}
 		}

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// newTestService starts a Server with the given solve hook behind an
+// httptest server; both are torn down with the test.
+func newTestService(t *testing.T, cfg Config, solve func(JobSpec, *Stopper) (*JobResult, string)) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.JournalPath == "" {
+		cfg.JournalPath = filepath.Join(t.TempDir(), "j")
+	}
+	cfg.testSolve = solve
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		if err := s.Shutdown(); err != nil {
+			t.Error(err)
+		}
+	})
+	return s, hs
+}
+
+func postSpec(t *testing.T, url string, spec JobSpec) (*http.Response, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, st
+}
+
+// TestHTTPSubmitAndStatus drives the submit -> poll -> done flow over
+// HTTP, including the 202/200 distinction for fresh vs cached results.
+func TestHTTPSubmitAndStatus(t *testing.T) {
+	_, hs := newTestService(t, Config{Workers: 1}, func(spec JobSpec, st *Stopper) (*JobResult, string) {
+		return incumbent(), ""
+	})
+
+	resp, st := postSpec(t, hs.URL, testSpec(0.3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fresh submit: HTTP %d, want 202", resp.StatusCode)
+	}
+	if st.Key == "" || (st.State != StateQueued && st.State != StateRunning) {
+		t.Fatalf("fresh submit status = %+v", st)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(hs.URL + "/jobs/" + st.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got JobStatus
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got.State.Terminal() {
+			if got.State != StateDone || !got.Result.HasIncumbent() {
+				t.Fatalf("terminal status = %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Identical resubmit: served from the cache with 200.
+	resp2, st2 := postSpec(t, hs.URL, testSpec(0.3))
+	if resp2.StatusCode != http.StatusOK || st2.State != StateDone {
+		t.Fatalf("cached resubmit: HTTP %d state %s; want 200 done", resp2.StatusCode, st2.State)
+	}
+
+	// Unknown key and invalid spec.
+	r404, err := http.Get(hs.URL + "/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r404.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r404.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key: HTTP %d, want 404", r404.StatusCode)
+	}
+	rBad, _ := postSpec(t, hs.URL, JobSpec{})
+	if rBad.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: HTTP %d, want 400", rBad.StatusCode)
+	}
+}
+
+// TestHTTPBackpressure: a full queue answers 429 with a Retry-After hint.
+func TestHTTPBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	_, hs := newTestService(t, Config{Workers: 1, QueueCap: 1}, func(spec JobSpec, st *Stopper) (*JobResult, string) {
+		<-release
+		return incumbent(), ""
+	})
+
+	if resp, _ := postSpec(t, hs.URL, testSpec(0.3)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d", resp.StatusCode)
+	}
+	resp, _ := postSpec(t, hs.URL, testSpec(0.4))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestHTTPHealthAndDrain: healthz stays 200, readyz flips to 503 and
+// submissions get 503 once the server drains.
+func TestHTTPHealthAndDrain(t *testing.T) {
+	s, hs := newTestService(t, Config{Workers: 1}, func(spec JobSpec, st *Stopper) (*JobResult, string) {
+		return incumbent(), ""
+	})
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		r, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s: HTTP %d, want 200", path, r.StatusCode)
+		}
+	}
+
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("drained readyz: HTTP %d, want 503", r.StatusCode)
+	}
+	resp, _ := postSpec(t, hs.URL, testSpec(0.3))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("drained submit: HTTP %d, want 503", resp.StatusCode)
+	}
+	h, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h.StatusCode != http.StatusOK {
+		t.Errorf("drained healthz: HTTP %d, want 200 (liveness, not readiness)", h.StatusCode)
+	}
+}
+
+// TestHTTPBatch submits a mixed batch with wait: valid specs complete,
+// the invalid entry reports its error in place, and the response keeps
+// request order.
+func TestHTTPBatch(t *testing.T) {
+	_, hs := newTestService(t, Config{Workers: 2}, func(spec JobSpec, st *Stopper) (*JobResult, string) {
+		return incumbent(), ""
+	})
+
+	var req struct {
+		Jobs []JobSpec `json:"jobs"`
+		Wait bool      `json:"wait"`
+	}
+	req.Jobs = []JobSpec{testSpec(0.3), {}, testSpec(0.4)}
+	req.Wait = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/jobs/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Jobs []struct {
+			Status *JobStatus `json:"status"`
+			Error  string     `json:"error"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 3 {
+		t.Fatalf("batch entries = %d, want 3", len(out.Jobs))
+	}
+	for _, i := range []int{0, 2} {
+		e := out.Jobs[i]
+		if e.Error != "" || e.Status == nil || e.Status.State != StateDone {
+			t.Errorf("batch entry %d = %+v; want done", i, e)
+		}
+	}
+	if out.Jobs[1].Error == "" || out.Jobs[1].Status != nil {
+		t.Errorf("invalid batch entry = %+v; want error", out.Jobs[1])
+	}
+
+	// Duplicate specs inside one batch dedup to the same key.
+	req.Jobs = []JobSpec{testSpec(0.5), testSpec(0.5)}
+	req.Wait = true
+	body, err = json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(hs.URL+"/jobs/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 2 || out.Jobs[0].Status == nil || out.Jobs[1].Status == nil {
+		t.Fatalf("dup batch = %+v", out.Jobs)
+	}
+	if out.Jobs[0].Status.Key != out.Jobs[1].Status.Key {
+		t.Error("identical specs got distinct keys in one batch")
+	}
+
+	// The jobs listing shows everything in admission order.
+	rl, err := http.Get(hs.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Body.Close()
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(rl.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 3 {
+		t.Errorf("listing = %d jobs, want 3", len(list.Jobs))
+	}
+}
+
+// TestHTTPBatchLimit rejects oversized batches outright.
+func TestHTTPBatchLimit(t *testing.T) {
+	_, hs := newTestService(t, Config{Workers: 1}, func(spec JobSpec, st *Stopper) (*JobResult, string) {
+		return incumbent(), ""
+	})
+	jobs := make([]JobSpec, maxBatchJobs+1)
+	for i := range jobs {
+		a := 0.2 + float64(i)*1e-6
+		jobs[i] = JobSpec{Lite: true, Alpha: &a}
+	}
+	body, err := json.Marshal(map[string]any{"jobs": jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/jobs/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: HTTP %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error != fmt.Sprintf("batch exceeds %d jobs", maxBatchJobs) {
+		t.Errorf("error = %q", e.Error)
+	}
+}

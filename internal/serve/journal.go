@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The journal is the service's crash-safety substrate: an append-only
+// file of JSON records, one per line, fsync'd after every append, keyed
+// by the content-addressed job key. It is the source of truth — the
+// in-memory job table and result cache are a replay of it. The record
+// grammar per job is
+//
+//	submit (start | retry)* [done]
+//
+// and recovery classifies each key by its last record: a terminal done
+// is a completed job served from the cache; anything else (including a
+// done with the non-terminal "interrupted" state a draining daemon
+// writes for in-flight incumbents) is a pending job the restarted
+// daemon re-queues. A torn trailing record — the signature of a crash
+// mid-append — is dropped and truncated away before new appends, so a
+// kill -9 at any byte boundary leaves a recoverable journal.
+type journalRecord struct {
+	Rec string `json:"rec"` // "submit" | "start" | "retry" | "done"
+	Key string `json:"key"`
+	// Attempt is the 1-based attempt number (start/retry records).
+	Attempt int `json:"attempt,omitempty"`
+	// Cause names why a retry was scheduled (retry records).
+	Cause string `json:"cause,omitempty"`
+	// Spec is the normalized job spec (submit records).
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Result is the recorded outcome (done records).
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// Journal is the fsync'd append side.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Replay is the recovered state of a journal.
+type Replay struct {
+	// Jobs maps job key to its replayed state.
+	Jobs map[string]*ReplayedJob
+	// Order lists the keys in first-submit order.
+	Order []string
+	// Torn reports that a torn trailing record was dropped.
+	Torn bool
+}
+
+// ReplayedJob is one job's state as reconstructed from the journal.
+type ReplayedJob struct {
+	Spec     JobSpec
+	State    State
+	Result   *JobResult
+	Attempts int
+}
+
+// OpenJournal recovers path (which need not exist) and opens it for
+// appending. A torn trailing record is truncated away so subsequent
+// appends start on a fresh line; corruption anywhere else is an error.
+func OpenJournal(path string) (*Journal, *Replay, error) {
+	replay := &Replay{Jobs: make(map[string]*ReplayedJob)}
+	good := int64(0)
+	if f, err := os.Open(path); err == nil {
+		var rerr error
+		good, rerr = replayInto(f, replay)
+		f.Close()
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if info, err := f.Stat(); err == nil && info.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("serve: truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f, path: path}, replay, nil
+}
+
+// replayInto parses records from r into replay and returns the byte
+// offset just past the last well-formed record. A malformed or
+// unterminated final line is tolerated (Torn); a malformed line with
+// valid records after it is corruption and errors out.
+func replayInto(r io.Reader, replay *Replay) (int64, error) {
+	br := bufio.NewReader(r)
+	var offset int64
+	line := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return offset, err
+		}
+		if len(raw) == 0 {
+			return offset, nil
+		}
+		line++
+		if raw[len(raw)-1] != '\n' {
+			// An unterminated final line is a torn append: Append writes
+			// record+newline in one call and fsyncs after, so a missing
+			// terminator means the append never acknowledged. Drop the
+			// fragment — parseable or not — exactly as if the crash had
+			// landed one instant earlier.
+			replay.Torn = true
+			return offset, nil
+		}
+		var rec journalRecord
+		if uerr := json.Unmarshal(raw, &rec); uerr != nil {
+			if peek, _ := br.Peek(1); len(peek) == 0 {
+				// Malformed final line (e.g. a torn record that kept its
+				// newline from a sector-aligned overwrite): torn tail.
+				replay.Torn = true
+				return offset, nil
+			}
+			// More records follow a malformed line: not a torn tail.
+			return offset, fmt.Errorf("serve: journal record %d is corrupt: %v", line, uerr)
+		}
+		if aerr := applyRecord(replay, rec, line); aerr != nil {
+			return offset, aerr
+		}
+		offset += int64(len(raw))
+	}
+}
+
+// applyRecord folds one record into the replay state.
+func applyRecord(replay *Replay, rec journalRecord, line int) error {
+	if rec.Key == "" {
+		return fmt.Errorf("serve: journal record %d has no job key", line)
+	}
+	j := replay.Jobs[rec.Key]
+	switch rec.Rec {
+	case "submit":
+		if j != nil {
+			return fmt.Errorf("serve: journal record %d resubmits job %s", line, shortKey(rec.Key))
+		}
+		if rec.Spec == nil {
+			return fmt.Errorf("serve: journal record %d (submit) has no spec", line)
+		}
+		replay.Jobs[rec.Key] = &ReplayedJob{Spec: *rec.Spec, State: StateQueued}
+		replay.Order = append(replay.Order, rec.Key)
+		return nil
+	case "start":
+		if j == nil {
+			return fmt.Errorf("serve: journal record %d starts unknown job %s", line, shortKey(rec.Key))
+		}
+		j.State = StateRunning
+		j.Attempts = rec.Attempt
+		return nil
+	case "retry":
+		if j == nil {
+			return fmt.Errorf("serve: journal record %d retries unknown job %s", line, shortKey(rec.Key))
+		}
+		j.State = StateQueued
+		j.Attempts = rec.Attempt
+		return nil
+	case "done":
+		if j == nil {
+			return fmt.Errorf("serve: journal record %d completes unknown job %s", line, shortKey(rec.Key))
+		}
+		if j.State.Terminal() {
+			return fmt.Errorf("serve: journal record %d double-completes job %s", line, shortKey(rec.Key))
+		}
+		if rec.Result == nil {
+			return fmt.Errorf("serve: journal record %d (done) has no result", line)
+		}
+		j.State = rec.Result.State
+		j.Result = rec.Result
+		if rec.Result.Attempts > 0 {
+			j.Attempts = rec.Result.Attempts
+		}
+		return nil
+	default:
+		return fmt.Errorf("serve: journal record %d has unknown type %q", line, rec.Rec)
+	}
+}
+
+// Append writes one record and fsyncs before returning: once Append
+// returns nil the record survives a crash at any later instant.
+func (j *Journal) Append(rec journalRecord) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("serve: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal; later Appends fail cleanly.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// shortKey abbreviates a job key for error and log text.
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSpec(alpha float64) JobSpec {
+	return JobSpec{Lite: true, Alpha: &alpha}
+}
+
+// mustNormalize returns the normalized spec and key for a lite spec.
+func mustNormalize(t *testing.T, spec JobSpec) (JobSpec, string) {
+	t.Helper()
+	norm, canon, err := normalizeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm, jobKey(canon, norm)
+}
+
+func writeJournalLines(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustJSONLine(t *testing.T, rec journalRecord) string {
+	t.Helper()
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf) + "\n"
+}
+
+// TestJournalRoundTrip: submit/start/done append and replay back into the
+// same states, with completed jobs terminal and attempt counts preserved.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, replay, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Jobs) != 0 || replay.Torn {
+		t.Fatalf("fresh journal replayed %d jobs, torn=%t", len(replay.Jobs), replay.Torn)
+	}
+	norm, key := mustNormalize(t, testSpec(0.3))
+	res := &JobResult{State: StateDone, Objective: 1.5, Attempts: 2, Schedule: []string{"W(a, b)"}}
+	for _, rec := range []journalRecord{
+		{Rec: "submit", Key: key, Spec: &norm},
+		{Rec: "start", Key: key, Attempt: 1},
+		{Rec: "retry", Key: key, Attempt: 1, Cause: "numerical"},
+		{Rec: "start", Key: key, Attempt: 2},
+		{Rec: "done", Key: key, Result: res},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replay2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := replay2.Jobs[key]
+	if rj == nil {
+		t.Fatal("job missing after replay")
+	}
+	if rj.State != StateDone || rj.Attempts != 2 || rj.Result == nil || rj.Result.Objective != 1.5 {
+		t.Errorf("replayed state=%s attempts=%d result=%+v", rj.State, rj.Attempts, rj.Result)
+	}
+	if len(replay2.Order) != 1 || replay2.Order[0] != key {
+		t.Errorf("replay order = %v", replay2.Order)
+	}
+	if replay2.Torn {
+		t.Error("clean journal reported torn")
+	}
+}
+
+// TestJournalCrashMidJob: a journal whose last record is a start (the
+// daemon died mid-solve) replays the job as non-terminal so the next
+// daemon re-queues it, and never reports it completed.
+func TestJournalCrashMidJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	norm, key := mustNormalize(t, testSpec(0.3))
+	writeJournalLines(t, path,
+		mustJSONLine(t, journalRecord{Rec: "submit", Key: key, Spec: &norm}),
+		mustJSONLine(t, journalRecord{Rec: "start", Key: key, Attempt: 1}),
+	)
+	_, replay, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := replay.Jobs[key]
+	if rj == nil || rj.State.Terminal() {
+		t.Fatalf("crashed-mid-solve job replayed as %+v; want non-terminal", rj)
+	}
+	if rj.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", rj.Attempts)
+	}
+}
+
+// TestJournalTornTail: a torn final record — truncated at an arbitrary
+// byte, with or without its newline — is dropped cleanly: the preceding
+// records replay, Torn is reported, and the tail is truncated so the
+// reopened journal appends on a fresh line.
+func TestJournalTornTail(t *testing.T) {
+	norm, key := mustNormalize(t, testSpec(0.3))
+	norm2, key2 := mustNormalize(t, testSpec(0.4))
+	submit := mustJSONLine(t, journalRecord{Rec: "submit", Key: key, Spec: &norm})
+	start := mustJSONLine(t, journalRecord{Rec: "start", Key: key, Attempt: 1})
+
+	cases := []struct {
+		name string
+		tail string
+	}{
+		{"cut-mid-json", start[:len(start)/2]},
+		{"cut-before-newline", start[:len(start)-1]},
+		{"garbage-with-newline", "{\"rec\":\"start\",\"key\"::::\n"},
+		{"parseable-but-unterminated", start[:len(start)-1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j")
+			writeJournalLines(t, path, submit, tc.tail)
+			j, replay, err := OpenJournal(path)
+			if err != nil {
+				t.Fatalf("torn journal did not recover: %v", err)
+			}
+			if !replay.Torn {
+				t.Error("torn tail not reported")
+			}
+			rj := replay.Jobs[key]
+			if rj == nil || rj.State != StateQueued || rj.Attempts != 0 {
+				t.Fatalf("replayed job = %+v; want queued with 0 attempts (torn start dropped)", rj)
+			}
+			// The journal must have been truncated back to the last good
+			// record: a fresh append must land on its own line and the
+			// whole file must replay cleanly afterwards.
+			if err := j.Append(journalRecord{Rec: "submit", Key: key2, Spec: &norm2}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, replay2, err := OpenJournal(path)
+			if err != nil {
+				t.Fatalf("journal corrupt after torn-tail recovery + append: %v", err)
+			}
+			if replay2.Torn {
+				t.Error("recovered journal still torn")
+			}
+			if len(replay2.Order) != 2 || replay2.Jobs[key2] == nil {
+				t.Errorf("replay after recovery = %v", replay2.Order)
+			}
+		})
+	}
+}
+
+// TestJournalMidFileCorruption: a malformed record with valid records
+// after it is corruption, not a torn tail, and must error out rather than
+// silently dropping jobs.
+func TestJournalMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	norm, key := mustNormalize(t, testSpec(0.3))
+	writeJournalLines(t, path,
+		"not json at all\n",
+		mustJSONLine(t, journalRecord{Rec: "submit", Key: key, Spec: &norm}),
+	)
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("mid-file corruption recovered silently; want error")
+	}
+}
+
+// TestJournalRejectsDoubleComplete: two done records for one job would
+// mean the cache could flap between results; replay refuses.
+func TestJournalRejectsDoubleComplete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	norm, key := mustNormalize(t, testSpec(0.3))
+	res := &JobResult{State: StateDone, Attempts: 1}
+	writeJournalLines(t, path,
+		mustJSONLine(t, journalRecord{Rec: "submit", Key: key, Spec: &norm}),
+		mustJSONLine(t, journalRecord{Rec: "done", Key: key, Result: res}),
+		mustJSONLine(t, journalRecord{Rec: "done", Key: key, Result: res}),
+	)
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("double-complete replayed silently; want error")
+	}
+}
+
+// TestJournalInterruptedThenDone: the non-terminal "interrupted" done
+// record a draining daemon writes does not block the job's real
+// completion after restart.
+func TestJournalInterruptedThenDone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	norm, key := mustNormalize(t, testSpec(0.3))
+	writeJournalLines(t, path,
+		mustJSONLine(t, journalRecord{Rec: "submit", Key: key, Spec: &norm}),
+		mustJSONLine(t, journalRecord{Rec: "start", Key: key, Attempt: 1}),
+		mustJSONLine(t, journalRecord{Rec: "done", Key: key, Result: &JobResult{State: StateInterrupted, Attempts: 1, Schedule: []string{"W(a)"}}}),
+		mustJSONLine(t, journalRecord{Rec: "start", Key: key, Attempt: 2}),
+		mustJSONLine(t, journalRecord{Rec: "done", Key: key, Result: &JobResult{State: StateDone, Attempts: 2}}),
+	)
+	_, replay, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rj := replay.Jobs[key]; rj == nil || rj.State != StateDone || rj.Attempts != 2 {
+		t.Fatalf("replayed job = %+v; want done after interrupted+done", replay.Jobs[key])
+	}
+}
+
+// TestJournalAppendAfterClose fails cleanly instead of writing to a nil
+// file handle.
+func TestJournalAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord{Rec: "submit", Key: "k", Spec: &JobSpec{}}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := j.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestStopperStopAfter pins the deadline semantics the daemon and the
+// CLI -timeout share: expiry closes the channel and flags Expired; a
+// direct Stop does not.
+func TestStopperStopAfter(t *testing.T) {
+	st := NewStopper()
+	cancel := st.StopAfter(time.Nanosecond)
+	defer cancel()
+	select {
+	case <-st.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if !st.Expired() {
+		t.Error("Expired() = false after deadline stop")
+	}
+
+	st2 := NewStopper()
+	st2.Stop()
+	st2.Stop() // idempotent
+	if !st2.Stopped() || st2.Expired() {
+		t.Errorf("direct stop: Stopped=%t Expired=%t; want true,false", st2.Stopped(), st2.Expired())
+	}
+}

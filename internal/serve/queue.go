@@ -1,0 +1,68 @@
+package serve
+
+import "sync"
+
+// queue is the worker-facing job queue: FIFO, condition-variable based,
+// internally unbounded. Admission control (the bounded part that answers
+// 429) lives in Server.Submit, which counts incomplete admitted jobs
+// against Config.QueueCap before anything reaches push — so re-enqueues
+// of already-admitted jobs (journal resume, retry backoff) can never
+// deadlock against the cap or be dropped.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends j. Pushing to a closed queue is a no-op: the caller is a
+// late retry timer or resume racing a drain, and the job's journal state
+// already marks it pending for the next daemon start.
+func (q *queue) push(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+}
+
+// pop blocks for the next job. ok is false once the queue is closed —
+// immediately, even with items still queued: a draining daemon finishes
+// in-flight jobs only, and what is still queued stays journaled as
+// pending for the next start.
+func (q *queue) pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j = q.items[0]
+	q.items = q.items[1:]
+	return j, true
+}
+
+// close stops the queue: pending pops return, future pushes are no-ops.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// depth returns the number of queued jobs.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

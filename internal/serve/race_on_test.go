@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceDetectorEnabled lets timing-sensitive e2e assertions account for
+// the ~20x slowdown of instrumented MILP solves.
+const raceDetectorEnabled = true

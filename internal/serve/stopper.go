@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stopper owns one cooperative-interrupt channel of the kind every MILP
+// engine polls (milp.Params.Interrupt): closed at most once, from any
+// number of goroutines, for any mix of reasons. It is the single code
+// path behind the letdmad per-job deadline, the daemon's graceful drain,
+// and the letdma CLI's -timeout wall-clock budget and SIGINT/SIGTERM
+// handlers — all of them end in Stop on the same channel the solver is
+// already polling, so "stop now but keep the incumbent" behaves
+// identically everywhere.
+type Stopper struct {
+	once    sync.Once
+	ch      chan struct{}
+	expired atomic.Bool
+}
+
+// NewStopper returns a ready-to-arm Stopper.
+func NewStopper() *Stopper {
+	return &Stopper{ch: make(chan struct{})}
+}
+
+// C returns the interrupt channel to hand to the solver
+// (milp.Params.Interrupt / experiments.Config.Interrupt).
+func (s *Stopper) C() <-chan struct{} {
+	return s.ch
+}
+
+// Stop closes the channel. Safe to call any number of times from any
+// goroutine; only the first call closes.
+func (s *Stopper) Stop() {
+	s.once.Do(func() { close(s.ch) })
+}
+
+// Stopped reports whether the channel is closed.
+func (s *Stopper) Stopped() bool {
+	select {
+	case <-s.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// StopAfter arms a wall-clock deadline: after d, the channel is closed
+// and Expired starts reporting true, which lets callers distinguish a
+// deadline stop from a Stop issued for another reason (a signal, a
+// drain). The returned cancel releases the timer; calling it after the
+// deadline fired is harmless. d <= 0 arms nothing and returns a no-op.
+func (s *Stopper) StopAfter(d time.Duration) (cancel func()) {
+	if d <= 0 {
+		return func() {}
+	}
+	t := time.AfterFunc(d, func() {
+		s.expired.Store(true)
+		s.Stop()
+	})
+	return func() { t.Stop() }
+}
+
+// Expired reports whether a StopAfter deadline fired. False for stops
+// issued through Stop directly.
+func (s *Stopper) Expired() bool {
+	return s.expired.Load()
+}
